@@ -1,0 +1,294 @@
+//! A generic simulated-annealing engine.
+//!
+//! E-BLOW's 2DOSP flow (paper §4.2) packs characters with a simulated
+//! annealing floorplanner in the style of Parquet. This crate provides the
+//! engine: a Metropolis acceptance loop over a user-defined state with
+//! geometric cooling, move/undo semantics (no state cloning per move),
+//! best-solution tracking, and fully deterministic behaviour under a seed.
+//!
+//! The state implements [`Anneal`]; the engine drives it:
+//!
+//! ```
+//! use eblow_anneal::{Anneal, Annealer, Schedule};
+//! use rand::rngs::StdRng;
+//! use rand::RngExt;
+//!
+//! /// Toy state: minimize Σ x_i² over integer steps.
+//! #[derive(Clone)]
+//! struct Toy(Vec<i64>);
+//!
+//! impl Anneal for Toy {
+//!     type Move = (usize, i64);
+//!     fn energy(&self) -> f64 {
+//!         self.0.iter().map(|&x| (x * x) as f64).sum()
+//!     }
+//!     fn propose(&mut self, rng: &mut StdRng) -> Option<Self::Move> {
+//!         let i = rng.random_range(0..self.0.len());
+//!         let d = if rng.random_bool(0.5) { 1 } else { -1 };
+//!         Some((i, d))
+//!     }
+//!     fn apply(&mut self, &(i, d): &Self::Move) {
+//!         self.0[i] += d;
+//!     }
+//!     fn undo(&mut self, &(i, d): &Self::Move) {
+//!         self.0[i] -= d;
+//!     }
+//! }
+//!
+//! let mut state = Toy(vec![7, -4, 9]);
+//! let stats = Annealer::new(Schedule::geometric(10.0, 0.9, 0.01, 50), 42).run(&mut state);
+//! assert_eq!(state.energy(), 0.0); // engine restores the best state found
+//! assert!(stats.accepted > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A state that can be annealed.
+///
+/// Moves must be cheap to apply and exactly undoable; the engine never
+/// clones the state except to snapshot improvements on the incumbent best.
+pub trait Anneal: Clone {
+    /// A reversible perturbation of the state.
+    type Move;
+
+    /// Current energy (lower is better).
+    fn energy(&self) -> f64;
+
+    /// Proposes a random move, or `None` when no move is possible (the run
+    /// stops early).
+    fn propose(&mut self, rng: &mut StdRng) -> Option<Self::Move>;
+
+    /// Applies a proposed move.
+    fn apply(&mut self, mv: &Self::Move);
+
+    /// Reverts a move previously applied with [`Anneal::apply`].
+    fn undo(&mut self, mv: &Self::Move);
+}
+
+/// A geometric cooling schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct Schedule {
+    /// Starting temperature.
+    pub t_start: f64,
+    /// Multiplicative cooling factor per temperature step, in `(0, 1)`.
+    pub alpha: f64,
+    /// Final temperature; the run stops when the temperature drops below it.
+    pub t_end: f64,
+    /// Moves attempted at each temperature.
+    pub moves_per_temp: usize,
+}
+
+impl Schedule {
+    /// A geometric schedule `T ← α·T` from `t_start` down to `t_end` with
+    /// `moves_per_temp` proposals per plateau.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha < 1`, `0 < t_end ≤ t_start` and
+    /// `moves_per_temp > 0`.
+    pub fn geometric(t_start: f64, alpha: f64, t_end: f64, moves_per_temp: usize) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        assert!(t_end > 0.0 && t_end <= t_start, "need 0 < t_end ≤ t_start");
+        assert!(moves_per_temp > 0);
+        Schedule {
+            t_start,
+            alpha,
+            t_end,
+            moves_per_temp,
+        }
+    }
+
+    /// A schedule sized for a problem with `n` elements: starting
+    /// temperature proportional to `scale`, `~120` temperature steps, and
+    /// `moves_factor·n` proposals per plateau.
+    pub fn sized(n: usize, scale: f64, moves_factor: usize) -> Self {
+        let t_start = scale.max(1e-3);
+        let t_end = t_start * 1e-5;
+        // alpha^steps = 1e-5 → steps ≈ 115 for alpha = 0.905
+        Schedule::geometric(t_start, 0.905, t_end, moves_factor.max(1) * n.max(1))
+    }
+
+    /// Total number of proposals this schedule will make.
+    pub fn total_moves(&self) -> usize {
+        let steps = ((self.t_end / self.t_start).ln() / self.alpha.ln()).ceil() as usize + 1;
+        steps * self.moves_per_temp
+    }
+}
+
+/// Statistics of a finished annealing run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AnnealStats {
+    /// Total proposals examined.
+    pub proposed: usize,
+    /// Accepted moves (including improving moves).
+    pub accepted: usize,
+    /// Strictly improving accepted moves.
+    pub improved: usize,
+    /// Energy of the initial state.
+    pub initial_energy: f64,
+    /// Energy of the best state found (the state is restored to it).
+    pub best_energy: f64,
+}
+
+/// Deterministic simulated-annealing driver.
+#[derive(Debug, Clone)]
+pub struct Annealer {
+    schedule: Schedule,
+    seed: u64,
+}
+
+impl Annealer {
+    /// Creates a driver with a cooling schedule and RNG seed.
+    pub fn new(schedule: Schedule, seed: u64) -> Self {
+        Annealer { schedule, seed }
+    }
+
+    /// The configured schedule.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// Runs the annealing loop on `state`. On return, `state` holds the
+    /// **best** configuration encountered (not the last one visited).
+    pub fn run<S: Anneal>(&self, state: &mut S) -> AnnealStats {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut energy = state.energy();
+        let mut stats = AnnealStats {
+            initial_energy: energy,
+            best_energy: energy,
+            ..Default::default()
+        };
+        let mut best = state.clone();
+
+        let mut temp = self.schedule.t_start;
+        while temp >= self.schedule.t_end {
+            for _ in 0..self.schedule.moves_per_temp {
+                let Some(mv) = state.propose(&mut rng) else {
+                    *state = best;
+                    stats.best_energy = state.energy();
+                    return stats;
+                };
+                stats.proposed += 1;
+                state.apply(&mv);
+                let new_energy = state.energy();
+                let delta = new_energy - energy;
+                let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / temp).exp();
+                if accept {
+                    stats.accepted += 1;
+                    if delta < 0.0 {
+                        stats.improved += 1;
+                    }
+                    energy = new_energy;
+                    if energy < stats.best_energy {
+                        stats.best_energy = energy;
+                        best = state.clone();
+                    }
+                } else {
+                    state.undo(&mv);
+                }
+            }
+            temp *= self.schedule.alpha;
+        }
+        *state = best;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct Quad(Vec<i64>);
+
+    impl Anneal for Quad {
+        type Move = (usize, i64);
+        fn energy(&self) -> f64 {
+            self.0.iter().map(|&x| (x * x) as f64).sum()
+        }
+        fn propose(&mut self, rng: &mut StdRng) -> Option<Self::Move> {
+            let i = rng.random_range(0..self.0.len());
+            Some((i, if rng.random_bool(0.5) { 1 } else { -1 }))
+        }
+        fn apply(&mut self, &(i, d): &Self::Move) {
+            self.0[i] += d;
+        }
+        fn undo(&mut self, &(i, d): &Self::Move) {
+            self.0[i] -= d;
+        }
+    }
+
+    #[test]
+    fn finds_global_minimum_of_convex_toy() {
+        let mut s = Quad(vec![10, -8, 3, 7]);
+        let stats = Annealer::new(Schedule::geometric(20.0, 0.9, 1e-3, 200), 7).run(&mut s);
+        assert_eq!(s.energy(), 0.0);
+        assert_eq!(stats.best_energy, 0.0);
+        assert!(stats.proposed >= stats.accepted);
+        assert!(stats.accepted >= stats.improved);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut s = Quad(vec![5, 5, 5]);
+            let st = Annealer::new(Schedule::geometric(5.0, 0.8, 0.01, 50), seed).run(&mut s);
+            (s.0.clone(), st.proposed, st.accepted)
+        };
+        assert_eq!(run(3), run(3));
+        // Different seeds usually diverge in accepted counts.
+        let a = run(3);
+        let b = run(4);
+        assert!(a != b || a.0 == b.0); // tolerate rare coincidence on tiny toys
+    }
+
+    #[test]
+    fn restores_best_not_last() {
+        // With a hot, non-cooling-to-zero schedule, the walk wanders; the
+        // engine must still return the best state seen.
+        let mut s = Quad(vec![2]);
+        let stats = Annealer::new(Schedule::geometric(50.0, 0.99, 40.0, 500), 11).run(&mut s);
+        assert_eq!(s.energy(), stats.best_energy);
+        assert!(stats.best_energy <= stats.initial_energy);
+    }
+
+    #[derive(Clone)]
+    struct NoMoves;
+    impl Anneal for NoMoves {
+        type Move = ();
+        fn energy(&self) -> f64 {
+            1.0
+        }
+        fn propose(&mut self, _rng: &mut StdRng) -> Option<()> {
+            None
+        }
+        fn apply(&mut self, _mv: &()) {}
+        fn undo(&mut self, _mv: &()) {}
+    }
+
+    #[test]
+    fn stops_when_no_moves() {
+        let mut s = NoMoves;
+        let stats = Annealer::new(Schedule::geometric(1.0, 0.5, 0.1, 10), 0).run(&mut s);
+        assert_eq!(stats.proposed, 0);
+        assert_eq!(stats.best_energy, 1.0);
+    }
+
+    #[test]
+    fn schedule_validation_and_sizing() {
+        let s = Schedule::sized(100, 50.0, 8);
+        assert!(s.t_start > 0.0 && s.t_end < s.t_start);
+        assert_eq!(s.moves_per_temp, 800);
+        assert!(s.total_moves() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1)")]
+    fn bad_alpha_panics() {
+        Schedule::geometric(1.0, 1.5, 0.1, 1);
+    }
+}

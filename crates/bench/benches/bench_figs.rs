@@ -1,0 +1,46 @@
+//! Figure benchmarks: Fig. 11/12's E-BLOW-0 vs E-BLOW-1 ablation (the
+//! runtime side is exactly what Fig. 12 plots), and the rounding loop that
+//! produces Figs. 5/6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eblow_core::oned::{successive_rounding, Eblow1d, Eblow1dConfig, RoundingConfig};
+use eblow_gen::{benchmark, Family};
+use std::hint::black_box;
+
+fn bench_figs(c: &mut Criterion) {
+    let inst = benchmark(Family::M1(1));
+
+    let mut group = c.benchmark_group("fig11_12");
+    group.sample_size(10);
+    group.bench_function("1M-1/eblow0", |b| {
+        let planner = Eblow1d::new(Eblow1dConfig::eblow0());
+        b.iter(|| planner.plan(black_box(&inst)).unwrap().total_time)
+    });
+    group.bench_function("1M-1/eblow1", |b| {
+        let planner = Eblow1d::new(Eblow1dConfig::eblow1());
+        b.iter(|| planner.plan(black_box(&inst)).unwrap().total_time)
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("fig5_6");
+    group.sample_size(10);
+    let eligible: Vec<usize> = (0..inst.num_chars()).collect();
+    let rows = inst.num_rows().unwrap();
+    group.bench_function("1M-1/successive-rounding", |b| {
+        b.iter(|| {
+            successive_rounding(
+                black_box(&inst),
+                black_box(&eligible),
+                rows,
+                &RoundingConfig::default(),
+            )
+            .trace
+            .unsolved_per_iter
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figs);
+criterion_main!(benches);

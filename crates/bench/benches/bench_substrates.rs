@@ -1,0 +1,128 @@
+//! Micro-benchmarks of the algorithmic substrates: the simplex LP solver,
+//! the fractional-MKP LP oracle, the refinement DP, the KD-tree, the
+//! Hungarian matcher, the sequence-pair packer and the shelf packer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eblow_core::oned::{refine_row, solve_mkp_lp, MkpItem, RowBase};
+use eblow_core::twod::{shelf_pack, NodeGeometry, PackNode};
+use eblow_gen::{benchmark, generate, Family, GenConfig};
+use eblow_kdtree::KdTree;
+use eblow_lp::{LpProblem, Relation, Simplex};
+use eblow_matching::max_weight_matching;
+use eblow_model::CharId;
+use eblow_seqpair::SequencePair;
+use std::hint::black_box;
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(30);
+
+    // Dense simplex on a 60-var / 40-row LP.
+    let lp = {
+        let mut lp = LpProblem::maximize();
+        let vars: Vec<_> = (0..60).map(|i| lp.add_var(0.0, 1.0, 1.0 + (i % 7) as f64)).collect();
+        for r in 0..40 {
+            let terms: Vec<_> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + ((i * r) % 5) as f64))
+                .collect();
+            lp.add_constraint(&terms, Relation::Le, 40.0 + r as f64);
+        }
+        lp
+    };
+    group.bench_function("simplex/60x40", |b| {
+        b.iter(|| Simplex::default().solve(black_box(&lp)).objective)
+    });
+
+    // Fractional-MKP LP oracle at 1M-5 scale (4000 items × 50 rows).
+    let big = benchmark(Family::M1(5));
+    let items: Vec<MkpItem> = (0..big.num_chars())
+        .map(|i| {
+            let ch = big.char(i);
+            MkpItem {
+                char_index: i,
+                eff_width: ch.effective_width(),
+                blank: ch.symmetric_blank(),
+                profit: big.total_reduction(i) as f64,
+            }
+        })
+        .collect();
+    let bases = vec![RowBase::default(); 50];
+    group.bench_function("mkp_lp/4000x50", |b| {
+        b.iter(|| solve_mkp_lp(black_box(&items), black_box(&bases), 2000).objective)
+    });
+
+    // Refinement DP on a 40-character row.
+    let inst = generate(&GenConfig::tiny_1d(3));
+    let ids: Vec<CharId> = (0..40).map(CharId::from).collect();
+    group.bench_function("refine_dp/40chars-beam20", |b| {
+        b.iter(|| refine_row(black_box(&inst), black_box(&ids), 20).1)
+    });
+
+    // KD-tree build + 1000 range queries over 5-D character features.
+    let pts: Vec<([f64; 5], usize)> = (0..2000)
+        .map(|i| {
+            let f = i as f64;
+            (
+                [30.0 + f % 25.0, 40.0, 2.0 + f % 9.0, 2.0 + f % 7.0, f % 911.0],
+                i,
+            )
+        })
+        .collect();
+    group.bench_function("kdtree/build2000+query1000", |b| {
+        b.iter(|| {
+            let tree = KdTree::build(black_box(pts.clone()));
+            let mut hits = 0usize;
+            for q in 0..1000 {
+                let f = q as f64;
+                let center = [30.0 + f % 25.0, 40.0, 5.0, 4.0, f % 911.0];
+                let lo: [f64; 5] = std::array::from_fn(|d| center[d] / 1.2);
+                let hi: [f64; 5] = std::array::from_fn(|d| center[d] / 0.8);
+                tree.range_query(&lo, &hi, |_, _, _| hits += 1);
+            }
+            hits
+        })
+    });
+
+    // Hungarian matching on a 64×32 profit matrix.
+    let weights: Vec<Vec<Option<f64>>> = (0..64)
+        .map(|i| {
+            (0..32)
+                .map(|j| {
+                    if (i + j) % 7 == 0 {
+                        None
+                    } else {
+                        Some(((i * 31 + j * 17) % 97) as f64)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    group.bench_function("hungarian/64x32", |b| {
+        b.iter(|| max_weight_matching(black_box(&weights)).total)
+    });
+
+    // Sequence-pair packing and shelf packing on 300 nodes.
+    let inst2d = generate(&GenConfig {
+        n_chars: 300,
+        ..GenConfig::tiny_2d(7)
+    });
+    let nodes: Vec<PackNode> = (0..300)
+        .map(|i| PackNode::single(&inst2d, CharId::from(i), 1.0 + i as f64))
+        .collect();
+    let geo = NodeGeometry::new(&nodes);
+    let sp = SequencePair::identity(300);
+    group.bench_function("seqpair/pack300", |b| {
+        b.iter(|| sp.pack(black_box(&geo)).width)
+    });
+    let order: Vec<usize> = (0..300).collect();
+    group.bench_function("skyline/pack300", |b| {
+        b.iter(|| shelf_pack(black_box(&nodes), black_box(&order), 250, 250).placed)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

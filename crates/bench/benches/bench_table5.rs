@@ -1,0 +1,44 @@
+//! Table 5 benchmark: E-BLOW's sub-millisecond planning on the tiny
+//! exact-ILP instances, the certified brute-force oracle, and one exact
+//! ILP solve that proves at the root (2T-1). The multi-second ILP blow-ups
+//! of the other cases are measured by `eblow-eval table5`, not criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eblow_core::ilp::solve_ilp_2d;
+use eblow_core::oned::Eblow1d;
+use eblow_core::twod::Eblow2d;
+use eblow_gen::{benchmark, Family};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_table5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(20);
+
+    for k in [1u8, 5] {
+        let inst = benchmark(Family::T1(k));
+        group.bench_function(format!("1T-{k}/eblow"), |b| {
+            b.iter(|| Eblow1d::default().plan(black_box(&inst)).unwrap().total_time)
+        });
+        group.bench_function(format!("1T-{k}/brute-force-oracle"), |b| {
+            b.iter(|| eblow_hardness::brute_force_min_row(black_box(&inst)))
+        });
+    }
+
+    let t2 = benchmark(Family::T2(1));
+    group.bench_function("2T-1/eblow", |b| {
+        b.iter(|| Eblow2d::default().plan(black_box(&t2)).unwrap().total_time)
+    });
+    group.sample_size(10);
+    group.bench_function("2T-1/exact-ilp", |b| {
+        b.iter(|| {
+            solve_ilp_2d(black_box(&t2), Duration::from_secs(30))
+                .total_time
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Criterion benches live in `benches/`; see DESIGN.md §5 for the
+//! experiment-to-bench mapping.

@@ -1,0 +1,297 @@
+//! Fast ILP convergence (paper §3.3, Algorithm 2).
+//!
+//! When successive rounding slows down — late iterations commit only a few
+//! characters each — E-BLOW stops rounding early and finishes the remaining
+//! assignment with one *small* exact ILP: LP values below `Lth` are fixed to
+//! 0, values above `Uth` are committed to 1, and only the (few) variables in
+//! between are handed to the integer solver. Fig. 6 of the paper shows why
+//! this works: the final LP's values cluster near 0, so the residual ILP has
+//! on the order of a hundred binaries even when the LP had thousands.
+
+use super::mkp_lp::{MkpItem, MkpLpSolution};
+use super::rounding::RowState;
+use crate::profit::RegionTimes;
+use eblow_lp::{BranchBound, LpProblem, MilpConfig, Relation};
+use eblow_model::{CharId, Instance};
+use std::time::Duration;
+
+/// Tunables for Algorithm 2.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvergenceConfig {
+    /// LP values below this are fixed to 0 (paper: 0.1).
+    pub lth: f64,
+    /// LP values above this are committed to 1 (paper: 0.9).
+    pub uth: f64,
+    /// Wall-clock budget for the residual ILP.
+    pub time_limit: Duration,
+    /// Cap on residual binary variables; the lowest-value pairs beyond the
+    /// cap are dropped (they get another chance in the post stages).
+    pub max_vars: usize,
+}
+
+impl Default for ConvergenceConfig {
+    fn default() -> Self {
+        ConvergenceConfig {
+            lth: 0.1,
+            uth: 0.9,
+            time_limit: Duration::from_secs(10),
+            max_vars: 800,
+        }
+    }
+}
+
+/// Statistics of one convergence run (reported by the eval harness).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConvergenceStats {
+    /// Characters committed by the `a_ij > Uth` shortcut.
+    pub committed_by_threshold: usize,
+    /// Binary variables in the residual ILP.
+    pub ilp_vars: usize,
+    /// Characters committed by the residual ILP.
+    pub committed_by_ilp: usize,
+}
+
+/// Runs Algorithm 2: threshold-commit, then a residual ILP over the
+/// middle-band variables. Mutates `rows` and `region_times` in place and
+/// returns the set of characters that remain unplaced plus statistics.
+pub fn fast_ilp_convergence(
+    instance: &Instance,
+    rows: &mut [RowState],
+    region_times: &mut RegionTimes,
+    items: &[MkpItem],
+    lp: &MkpLpSolution,
+    config: &ConvergenceConfig,
+) -> (Vec<usize>, ConvergenceStats) {
+    let w = instance.stencil().width();
+    let mut stats = ConvergenceStats::default();
+    let mut placed = vec![false; items.len()];
+
+    // Pass 1: commit every a_kj > Uth (lines 5-8 of Algorithm 2).
+    for k in 0..items.len() {
+        if lp.max_frac[k] > config.uth {
+            let it = items[k];
+            let id = CharId::from(it.char_index);
+            let j = lp.argmax_row[k];
+            let target = if rows[j].admits(instance, id, w) {
+                Some(j)
+            } else {
+                (0..rows.len()).find(|&r| rows[r].admits(instance, id, w))
+            };
+            if let Some(r) = target {
+                rows[r].commit(id, it.eff_width, it.blank);
+                region_times.select(instance, it.char_index);
+                placed[k] = true;
+                stats.committed_by_threshold += 1;
+            }
+        }
+    }
+
+    // Middle band: pairs with Lth ≤ a_kj ≤ Uth (and unplaced items).
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::new(); // (item k, row j, a)
+    for k in 0..items.len() {
+        if placed[k] {
+            continue;
+        }
+        for &(j, f) in &lp.fracs[k] {
+            if f >= config.lth && f <= config.uth {
+                pairs.push((k, j, f));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    pairs.truncate(config.max_vars);
+    stats.ilp_vars = pairs.len();
+
+    if !pairs.is_empty() {
+        // Residual formulation (4): binaries a_kj, continuous B_j.
+        let mut milp = LpProblem::maximize();
+        let involved_rows: Vec<usize> = {
+            let mut v: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let profits_now: Vec<f64> = items
+            .iter()
+            .map(|it| region_times.profit(instance, it.char_index))
+            .collect();
+        let avars: Vec<_> = pairs
+            .iter()
+            .map(|&(k, _, _)| milp.add_binary(profits_now[k]))
+            .collect();
+        // B_j ∈ [current committed max blank, global max blank].
+        let max_blank_global = pairs
+            .iter()
+            .map(|&(k, _, _)| items[k].blank)
+            .max()
+            .unwrap_or(0);
+        let bvars: Vec<_> = involved_rows
+            .iter()
+            .map(|&j| {
+                milp.add_var(
+                    rows[j].max_blank as f64,
+                    rows[j].max_blank.max(max_blank_global) as f64,
+                    0.0,
+                )
+            })
+            .collect();
+        // (4a): Σ w̃_k a_kj + B_j ≤ W − eff_used_j.
+        for (ri, &j) in involved_rows.iter().enumerate() {
+            let mut terms: Vec<_> = pairs
+                .iter()
+                .zip(&avars)
+                .filter(|(&(_, pj, _), _)| pj == j)
+                .map(|(&(k, _, _), &v)| (v, items[k].eff_width as f64))
+                .collect();
+            terms.push((bvars[ri], 1.0));
+            milp.add_constraint(&terms, Relation::Le, (w - rows[j].eff_used.min(w)) as f64);
+        }
+        // (4b): B_j ≥ s_k a_kj.
+        for (pi, &(k, j, _)) in pairs.iter().enumerate() {
+            let ri = involved_rows.binary_search(&j).unwrap();
+            milp.add_constraint(
+                &[(bvars[ri], 1.0), (avars[pi], -(items[k].blank as f64))],
+                Relation::Ge,
+                0.0,
+            );
+        }
+        // (4c): Σ_j a_kj ≤ 1 per item.
+        let mut by_item: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for (pi, &(k, _, _)) in pairs.iter().enumerate() {
+            by_item.entry(k).or_default().push(pi);
+        }
+        for (_, pis) in by_item.iter() {
+            if pis.len() > 1 {
+                let terms: Vec<_> = pis.iter().map(|&pi| (avars[pi], 1.0)).collect();
+                milp.add_constraint(&terms, Relation::Le, 1.0);
+            }
+        }
+
+        let sol = BranchBound::new(MilpConfig {
+            time_limit: config.time_limit,
+            ..Default::default()
+        })
+        .solve(&milp, &avars);
+
+        if matches!(
+            sol.status,
+            eblow_lp::MilpStatus::Optimal | eblow_lp::MilpStatus::Feasible
+        ) {
+            for (pi, &(k, j, _)) in pairs.iter().enumerate() {
+                if placed[k] || sol.values[avars[pi].index()] < 0.5 {
+                    continue;
+                }
+                let it = items[k];
+                let id = CharId::from(it.char_index);
+                if rows[j].admits(instance, id, w) {
+                    rows[j].commit(id, it.eff_width, it.blank);
+                    region_times.select(instance, it.char_index);
+                    placed[k] = true;
+                    stats.committed_by_ilp += 1;
+                }
+            }
+        }
+    }
+
+    let leftover: Vec<usize> = (0..items.len())
+        .filter(|&k| !placed[k])
+        .map(|k| items[k].char_index)
+        .collect();
+    (leftover, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oned::mkp_lp::{solve_mkp_lp, RowBase};
+    use eblow_model::{Character, Stencil};
+
+    fn instance(n: usize) -> Instance {
+        let chars: Vec<Character> = (0..n)
+            .map(|i| Character::new(30, 40, [4, 4, 0, 0], 5 + i as u64).unwrap())
+            .collect();
+        let repeats = (0..n).map(|i| vec![1 + (i as u64 % 3)]).collect();
+        Instance::new(Stencil::with_rows(100, 80, 40).unwrap(), chars, repeats).unwrap()
+    }
+
+    fn items_for(inst: &Instance, rt: &RegionTimes) -> Vec<MkpItem> {
+        (0..inst.num_chars())
+            .map(|i| {
+                let c = inst.char(i);
+                MkpItem {
+                    char_index: i,
+                    eff_width: c.effective_width(),
+                    blank: c.symmetric_blank(),
+                    profit: rt.profit(inst, i),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn commits_high_lp_values_and_solves_residual() {
+        let inst = instance(8);
+        let mut rows = vec![RowState::default(); 2];
+        let mut rt = RegionTimes::new(&inst);
+        let items = items_for(&inst, &rt);
+        let bases: Vec<RowBase> = rows.iter().map(RowState::base).collect();
+        let lp = solve_mkp_lp(&items, &bases, 100);
+        let (leftover, stats) =
+            fast_ilp_convergence(&inst, &mut rows, &mut rt, &items, &lp, &Default::default());
+        let placed: usize = rows.iter().map(|r| r.members.len()).sum();
+        assert_eq!(placed + leftover.len(), 8);
+        assert!(placed >= 4, "2×100 capacity fits ≥4 items of eff 26");
+        assert!(stats.committed_by_threshold + stats.committed_by_ilp == placed);
+        for r in &rows {
+            assert!(r.width_estimate() <= 100);
+        }
+    }
+
+    #[test]
+    fn respects_existing_row_content() {
+        let inst = instance(4);
+        let mut rows = vec![RowState::default()];
+        // Pre-fill the single row close to capacity with real characters
+        // (the admission test re-runs the ordering DP over the members).
+        let c0 = inst.char(0);
+        let c1 = inst.char(1);
+        rows[0].commit(CharId(0), c0.effective_width(), c0.symmetric_blank());
+        rows[0].commit(CharId(1), c1.effective_width(), c1.symmetric_blank());
+        let mut rt = RegionTimes::new(&inst);
+        rt.select(&inst, 0);
+        rt.select(&inst, 1);
+        let items: Vec<MkpItem> = (2..4)
+            .map(|i| {
+                let c = inst.char(i);
+                MkpItem {
+                    char_index: i,
+                    eff_width: c.effective_width(),
+                    blank: c.symmetric_blank(),
+                    profit: rt.profit(&inst, i),
+                }
+            })
+            .collect();
+        let bases: Vec<RowBase> = rows.iter().map(RowState::base).collect();
+        let lp = solve_mkp_lp(&items, &bases, 100);
+        let (_, _) =
+            fast_ilp_convergence(&inst, &mut rows, &mut rt, &items, &lp, &Default::default());
+        // Row must stay within the stencil under the true DP width.
+        let (_, width) = crate::oned::refine_row(&inst, &rows[0].members, 20);
+        assert!(width <= 100);
+        // 2×26 committed + blanks: exactly one more 26-eff char fits.
+        assert!(rows[0].members.len() <= 3);
+    }
+
+    #[test]
+    fn empty_residual_is_fine() {
+        let inst = instance(2);
+        let mut rows = vec![RowState::default(); 2];
+        let mut rt = RegionTimes::new(&inst);
+        let items: Vec<MkpItem> = Vec::new();
+        let lp = solve_mkp_lp(&items, &[RowBase::default(), RowBase::default()], 100);
+        let (leftover, stats) =
+            fast_ilp_convergence(&inst, &mut rows, &mut rt, &items, &lp, &Default::default());
+        assert!(leftover.is_empty());
+        assert_eq!(stats.ilp_vars, 0);
+    }
+}

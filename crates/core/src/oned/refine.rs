@@ -1,0 +1,269 @@
+//! Single-row ordering refinement (paper §3.4, Algorithm 3).
+//!
+//! Given the set of characters assigned to one row, choose a left-to-right
+//! order minimizing the packed width under blank sharing. Full ordering is
+//! `n!`; following the paper we search the `2^{n−1}` *end-insertion* orders
+//! (each character, taken in decreasing-blank order, goes to the left or
+//! right end of the partial row), which is optimal for symmetric blanks
+//! (Lemma 1) and near-optimal in practice for asymmetric ones.
+//!
+//! The DP state is `(width, left_end_blank, right_end_blank, order)`;
+//! dominated states (wider and with smaller end blanks) are pruned, and the
+//! frontier is beam-limited to `threshold` states (paper uses 20).
+
+use eblow_model::{overlap, CharId, Character, Instance};
+
+/// One partial-order state of the refinement DP.
+#[derive(Debug, Clone)]
+struct OrderState {
+    width: u64,
+    left_blank: u64,
+    right_blank: u64,
+    order: Vec<CharId>,
+}
+
+/// Finds a near-minimum-width order for `set` on a single row.
+///
+/// Returns the order and its packed width. The empty set returns
+/// `(vec![], 0)`.
+///
+/// `threshold` bounds the DP frontier (the paper's pruning threshold; 20 in
+/// E-BLOW). Larger thresholds explore more of the `2^{n−1}` insertion
+/// orders.
+pub fn refine_row(instance: &Instance, set: &[CharId], threshold: usize) -> (Vec<CharId>, u64) {
+    let chars: Vec<&Character> = set.iter().map(|id| instance.char(id.index())).collect();
+    if set.is_empty() {
+        return (Vec::new(), 0);
+    }
+    // Decreasing symmetric blank, the order Lemma 1 proves optimal.
+    let mut idx: Vec<usize> = (0..set.len()).collect();
+    idx.sort_by(|&a, &b| {
+        chars[b]
+            .symmetric_blank()
+            .cmp(&chars[a].symmetric_blank())
+            .then(set[a].cmp(&set[b]))
+    });
+
+    let first = idx[0];
+    let mut frontier = vec![OrderState {
+        width: chars[first].width(),
+        left_blank: chars[first].blanks().left,
+        right_blank: chars[first].blanks().right,
+        order: vec![set[first]],
+    }];
+
+    for &k in &idx[1..] {
+        let ck = chars[k];
+        let (wk, blk, brk) = (ck.width(), ck.blanks().left, ck.blanks().right);
+        let mut next: Vec<OrderState> = Vec::with_capacity(frontier.len() * 2);
+        for st in &frontier {
+            // Insert at the left end: ck's right blank meets the current
+            // left end's left blank.
+            let mut left_order = Vec::with_capacity(st.order.len() + 1);
+            left_order.push(set[k]);
+            left_order.extend_from_slice(&st.order);
+            next.push(OrderState {
+                width: st.width + wk - brk.min(st.left_blank),
+                left_blank: blk,
+                right_blank: st.right_blank,
+                order: left_order,
+            });
+            // Insert at the right end.
+            let mut right_order = st.order.clone();
+            right_order.push(set[k]);
+            next.push(OrderState {
+                width: st.width + wk - blk.min(st.right_blank),
+                left_blank: st.left_blank,
+                right_blank: brk,
+                order: right_order,
+            });
+        }
+        frontier = prune(next, threshold);
+    }
+
+    let best = frontier
+        .into_iter()
+        .min_by_key(|st| st.width)
+        .expect("non-empty frontier");
+    debug_assert_eq!(
+        best.width,
+        overlap::row_width_ordered(
+            &best
+                .order
+                .iter()
+                .map(|id| instance.char(id.index()))
+                .collect::<Vec<_>>()
+        ),
+        "DP width must agree with the geometric width"
+    );
+    (best.order, best.width)
+}
+
+/// Keeps the Pareto frontier of `(width ↓, left_blank ↑, right_blank ↑)`,
+/// beam-limited to `threshold` states (smallest widths kept).
+fn prune(mut states: Vec<OrderState>, threshold: usize) -> Vec<OrderState> {
+    states.sort_by(|a, b| {
+        a.width
+            .cmp(&b.width)
+            .then(b.left_blank.cmp(&a.left_blank))
+            .then(b.right_blank.cmp(&a.right_blank))
+    });
+    let mut kept: Vec<OrderState> = Vec::new();
+    for st in states {
+        let dominated = kept.iter().any(|k| {
+            k.width <= st.width && k.left_blank >= st.left_blank && k.right_blank >= st.right_blank
+        });
+        if !dominated {
+            kept.push(st);
+            if kept.len() >= threshold.max(1) {
+                break;
+            }
+        }
+    }
+    kept
+}
+
+/// Exhaustive minimum over all `n!` orders — test oracle only (`n ≤ 8`).
+#[doc(hidden)]
+pub fn brute_force_min_width(instance: &Instance, set: &[CharId]) -> u64 {
+    fn permute(
+        instance: &Instance,
+        remaining: &mut Vec<CharId>,
+        current: &mut Vec<CharId>,
+        best: &mut u64,
+    ) {
+        if remaining.is_empty() {
+            let chars: Vec<&Character> = current.iter().map(|id| instance.char(id.index())).collect();
+            *best = (*best).min(overlap::row_width_ordered(&chars));
+            return;
+        }
+        for i in 0..remaining.len() {
+            let id = remaining.remove(i);
+            current.push(id);
+            permute(instance, remaining, current, best);
+            current.pop();
+            remaining.insert(i, id);
+        }
+    }
+    if set.is_empty() {
+        return 0;
+    }
+    let mut best = u64::MAX;
+    permute(
+        instance,
+        &mut set.to_vec(),
+        &mut Vec::with_capacity(set.len()),
+        &mut best,
+    );
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblow_model::{Character, Instance, Stencil};
+
+    fn make_instance(specs: &[(u64, u64, u64)]) -> Instance {
+        // (width, left blank, right blank), height fixed 40.
+        let chars: Vec<Character> = specs
+            .iter()
+            .map(|&(w, l, r)| Character::new(w, 40, [l, r, 0, 0], 5).unwrap())
+            .collect();
+        let n = chars.len();
+        Instance::new(
+            Stencil::with_rows(100_000, 40, 40).unwrap(),
+            chars,
+            vec![vec![1]; n],
+        )
+        .unwrap()
+    }
+
+    fn ids(n: usize) -> Vec<CharId> {
+        (0..n).map(CharId::from).collect()
+    }
+
+    #[test]
+    fn symmetric_blanks_reach_lemma1_bound() {
+        let specs: Vec<(u64, u64, u64)> =
+            vec![(40, 9, 9), (44, 7, 7), (38, 4, 4), (50, 2, 2), (41, 6, 6)];
+        let inst = make_instance(&specs);
+        let (order, width) = refine_row(&inst, &ids(5), 20);
+        let lemma: u64 = specs.iter().map(|&(w, s, _)| w - s).sum::<u64>()
+            + specs.iter().map(|&(_, s, _)| s).max().unwrap();
+        assert_eq!(width, lemma);
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn asymmetric_matches_brute_force_on_small_sets() {
+        // 2^{n-1} insertion orders cover the optimum for these shapes.
+        let specs = vec![(40, 2, 9), (35, 8, 3), (42, 5, 5), (30, 1, 7)];
+        let inst = make_instance(&specs);
+        let (_, width) = refine_row(&inst, &ids(4), 64);
+        let brute = brute_force_min_width(&inst, &ids(4));
+        assert!(
+            width <= brute + 2,
+            "DP width {width} much worse than brute {brute}"
+        );
+        // With symmetric-enough shapes the DP typically *equals* brute force;
+        // assert it never beats it (impossible) to catch accounting bugs.
+        assert!(width >= brute);
+    }
+
+    #[test]
+    fn singleton_and_empty() {
+        let inst = make_instance(&[(40, 3, 4)]);
+        let (order, width) = refine_row(&inst, &ids(1), 20);
+        assert_eq!(order, ids(1));
+        assert_eq!(width, 40);
+        let (order, width) = refine_row(&inst, &[], 20);
+        assert!(order.is_empty());
+        assert_eq!(width, 0);
+    }
+
+    #[test]
+    fn order_is_permutation_of_input() {
+        let specs = vec![(40, 2, 9), (35, 8, 3), (42, 5, 5), (30, 1, 7), (33, 6, 2)];
+        let inst = make_instance(&specs);
+        let (order, _) = refine_row(&inst, &ids(5), 20);
+        let mut sorted: Vec<usize> = order.iter().map(|c| c.index()).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn beam_limit_does_not_break_correctness() {
+        let specs = vec![(40, 2, 9), (35, 8, 3), (42, 5, 5), (30, 1, 7), (33, 6, 2)];
+        let inst = make_instance(&specs);
+        let (_, w_small) = refine_row(&inst, &ids(5), 1);
+        let (_, w_large) = refine_row(&inst, &ids(5), 1000);
+        assert!(w_large <= w_small, "larger beam can only improve");
+    }
+
+    #[test]
+    fn pruning_keeps_pareto_front() {
+        // Two states: one wider with bigger end blanks must survive.
+        let states = vec![
+            OrderState {
+                width: 100,
+                left_blank: 2,
+                right_blank: 2,
+                order: vec![],
+            },
+            OrderState {
+                width: 105,
+                left_blank: 9,
+                right_blank: 9,
+                order: vec![],
+            },
+            OrderState {
+                width: 106,
+                left_blank: 1,
+                right_blank: 1,
+                order: vec![],
+            },
+        ];
+        let kept = prune(states, 20);
+        assert_eq!(kept.len(), 2); // third is dominated by the first
+    }
+}

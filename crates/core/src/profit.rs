@@ -1,0 +1,201 @@
+//! Dynamic profits (paper Eqn. (6)) and incremental writing-time tracking.
+//!
+//! All planners share one accounting structure, [`RegionTimes`]: the current
+//! per-region writing times `t_c` under a partial selection, updated in
+//! `O(P)` per select/deselect. The dynamic profit of a candidate is
+//!
+//! ```text
+//! profit_i = Σ_c (t_c / t_max) · (n_i − 1) · t_ic          (Eqn. 6)
+//! ```
+//!
+//! which weights each region by how close it is to being the bottleneck —
+//! the mechanism by which E-BLOW balances MCC regions.
+
+use eblow_model::Instance;
+
+/// Incrementally tracked per-region writing times for a partial selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionTimes {
+    times: Vec<u64>,
+}
+
+impl RegionTimes {
+    /// Starts from the empty selection (pure-VSB times).
+    pub fn new(instance: &Instance) -> Self {
+        RegionTimes {
+            times: instance.vsb_times().to_vec(),
+        }
+    }
+
+    /// Starts from an existing selection.
+    pub fn from_selection(instance: &Instance, selection: &eblow_model::Selection) -> Self {
+        RegionTimes {
+            times: instance.writing_times(selection),
+        }
+    }
+
+    /// Accounts for character `i` being put on the stencil.
+    pub fn select(&mut self, instance: &Instance, i: usize) {
+        for (c, t) in self.times.iter_mut().enumerate() {
+            *t -= instance.reduction(i, c);
+        }
+    }
+
+    /// Accounts for character `i` being removed from the stencil.
+    pub fn deselect(&mut self, instance: &Instance, i: usize) {
+        for (c, t) in self.times.iter_mut().enumerate() {
+            *t += instance.reduction(i, c);
+        }
+    }
+
+    /// Current per-region times `t_c`.
+    pub fn times(&self) -> &[u64] {
+        &self.times
+    }
+
+    /// Current system writing time `max_c t_c`.
+    pub fn total(&self) -> u64 {
+        self.times.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Change in the system writing time if `out` were replaced by `in_`
+    /// (negative = improvement). Either may be `None` for pure
+    /// insert/remove deltas.
+    pub fn swap_delta(&self, instance: &Instance, out: Option<usize>, in_: Option<usize>) -> i64 {
+        let cur = self.total() as i64;
+        let mut new_max = 0i64;
+        for (c, &t) in self.times.iter().enumerate() {
+            let mut t = t as i64;
+            if let Some(o) = out {
+                t += instance.reduction(o, c) as i64;
+            }
+            if let Some(i) = in_ {
+                t -= instance.reduction(i, c) as i64;
+            }
+            new_max = new_max.max(t);
+        }
+        new_max - cur
+    }
+
+    /// Dynamic profit of candidate `i` per Eqn. (6).
+    ///
+    /// Returns 0 when every region is already at writing time 0.
+    pub fn profit(&self, instance: &Instance, i: usize) -> f64 {
+        let t_max = self.total();
+        if t_max == 0 {
+            return 0.0;
+        }
+        let saving = instance.char(i).shot_saving() as f64;
+        let mut p = 0.0;
+        for (c, &t) in self.times.iter().enumerate() {
+            p += (t as f64 / t_max as f64) * saving * instance.repeats(i, c) as f64;
+        }
+        p
+    }
+
+    /// Dynamic profits for every candidate (Eqn. (6)), in one pass.
+    pub fn profits(&self, instance: &Instance) -> Vec<f64> {
+        (0..instance.num_chars())
+            .map(|i| self.profit(instance, i))
+            .collect()
+    }
+}
+
+/// Static profit: total writing-time reduction `Σ_c R_ic`, the
+/// region-agnostic profit used by the single-CP baselines.
+pub fn static_profit(instance: &Instance, i: usize) -> f64 {
+    instance.total_reduction(i) as f64
+}
+
+/// Static profits for all candidates.
+pub fn static_profits(instance: &Instance) -> Vec<f64> {
+    (0..instance.num_chars())
+        .map(|i| static_profit(instance, i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblow_model::{Character, Selection, Stencil};
+
+    fn inst() -> Instance {
+        let chars = vec![
+            Character::new(40, 40, [5, 5, 5, 5], 11).unwrap(), // saving 10
+            Character::new(40, 40, [5, 5, 5, 5], 3).unwrap(),  // saving 2
+        ];
+        // region 0: t = [4, 1]; region 1: t = [0, 8]
+        let repeats = vec![vec![4, 0], vec![1, 8]];
+        Instance::new(Stencil::with_rows(100, 40, 40).unwrap(), chars, repeats).unwrap()
+    }
+
+    #[test]
+    fn select_deselect_roundtrip() {
+        let inst = inst();
+        let mut rt = RegionTimes::new(&inst);
+        let t0 = rt.times().to_vec();
+        rt.select(&inst, 0);
+        assert_ne!(rt.times(), &t0[..]);
+        rt.deselect(&inst, 0);
+        assert_eq!(rt.times(), &t0[..]);
+    }
+
+    #[test]
+    fn matches_instance_accounting() {
+        let inst = inst();
+        let mut rt = RegionTimes::new(&inst);
+        rt.select(&inst, 1);
+        let sel = Selection::from_indices(2, [1]);
+        assert_eq!(rt.times(), &inst.writing_times(&sel)[..]);
+        assert_eq!(rt.total(), inst.total_writing_time(&sel));
+    }
+
+    #[test]
+    fn profit_weights_bottleneck_region() {
+        let inst = inst();
+        let rt = RegionTimes::new(&inst);
+        // T_vsb: region0 = 4*11 + 1*3 = 47; region1 = 0 + 8*3 = 24.
+        assert_eq!(rt.times(), &[47, 24]);
+        // char 0 only appears in region 0 (the bottleneck): full weight.
+        let p0 = rt.profit(&inst, 0);
+        assert!((p0 - (47.0 / 47.0) * 10.0 * 4.0).abs() < 1e-12);
+        // char 1: weighted mix of both regions.
+        let p1 = rt.profit(&inst, 1);
+        let expect = (47.0 / 47.0) * 2.0 * 1.0 + (24.0 / 47.0) * 2.0 * 8.0;
+        assert!((p1 - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_delta_matches_recompute() {
+        let inst = inst();
+        let mut rt = RegionTimes::new(&inst);
+        rt.select(&inst, 0);
+        let delta = rt.swap_delta(&inst, Some(0), Some(1));
+        let before = rt.total() as i64;
+        rt.deselect(&inst, 0);
+        rt.select(&inst, 1);
+        assert_eq!(rt.total() as i64 - before, delta);
+    }
+
+    #[test]
+    fn static_profit_sums_regions() {
+        let inst = inst();
+        assert_eq!(static_profit(&inst, 0), 40.0); // 10*(4+0)
+        assert_eq!(static_profit(&inst, 1), 18.0); // 2*(1+8)
+        assert_eq!(static_profits(&inst), vec![40.0, 18.0]);
+    }
+
+    #[test]
+    fn zero_time_instance_has_zero_profits() {
+        let chars = vec![Character::new(10, 10, [1, 1, 1, 1], 5).unwrap()];
+        let inst = Instance::new(
+            Stencil::new(100, 100).unwrap(),
+            chars,
+            vec![vec![0]],
+        )
+        .unwrap();
+        let rt = RegionTimes::new(&inst);
+        assert_eq!(rt.total(), 0);
+        assert_eq!(rt.profit(&inst, 0), 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the core algorithms against brute-force oracles.
+
+use eblow_core::oned::{brute_force_min_width, refine_row, solve_mkp_lp, MkpItem, RowBase};
+use eblow_model::{CharId, Character, Instance, Stencil};
+use proptest::prelude::*;
+
+fn row_instance(specs: &[(u64, u64, u64)]) -> Instance {
+    let chars: Vec<Character> = specs
+        .iter()
+        .map(|&(w, l, r)| Character::new(w, 40, [l, r, 0, 0], 5).unwrap())
+        .collect();
+    let n = chars.len();
+    Instance::new(
+        Stencil::with_rows(1_000_000, 40, 40).unwrap(),
+        chars,
+        vec![vec![1]; n],
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The refinement DP (end-insertion, beam ∞) never beats the true
+    /// permutation optimum and is near it; for symmetric blanks it matches
+    /// exactly (Lemma 1).
+    #[test]
+    fn refine_dp_vs_brute_force(
+        specs in prop::collection::vec((30u64..60, 1u64..14, 1u64..14), 2..7),
+    ) {
+        let specs: Vec<(u64, u64, u64)> = specs
+            .into_iter()
+            .map(|(w, l, r)| (w, l.min(w / 2), r.min(w / 2)))
+            .collect();
+        let inst = row_instance(&specs);
+        let ids: Vec<CharId> = (0..specs.len()).map(CharId::from).collect();
+        let (order, dp_width) = refine_row(&inst, &ids, 1024);
+        let brute = brute_force_min_width(&inst, &ids);
+        prop_assert!(dp_width >= brute, "DP below the permutation optimum?!");
+        // End-insertion explores 2^{n-1} of n! orders; allow a small gap.
+        prop_assert!(
+            dp_width as f64 <= brute as f64 * 1.05 + 4.0,
+            "DP {dp_width} far from optimum {brute}"
+        );
+        // The returned order must realize the returned width.
+        let chars: Vec<&Character> = order.iter().map(|id| inst.char(id.index())).collect();
+        prop_assert_eq!(eblow_model::overlap::row_width_ordered(&chars), dp_width);
+    }
+
+    /// Symmetric blanks: DP == Lemma 1 closed form == brute force.
+    #[test]
+    fn refine_dp_symmetric_exact(
+        specs in prop::collection::vec((30u64..60, 1u64..14), 2..7),
+    ) {
+        let specs: Vec<(u64, u64, u64)> = specs
+            .into_iter()
+            .map(|(w, s)| (w, s.min(w / 2), s.min(w / 2)))
+            .collect();
+        let inst = row_instance(&specs);
+        let ids: Vec<CharId> = (0..specs.len()).map(CharId::from).collect();
+        let (_, dp_width) = refine_row(&inst, &ids, 64);
+        let lemma = eblow_model::overlap::symmetric_min_length(
+            specs.iter().map(|&(w, s, _)| (w, s)),
+        );
+        prop_assert_eq!(dp_width, lemma);
+    }
+
+    /// The MKP LP oracle returns a feasible fractional solution whose
+    /// objective equals the aggregate fractional-knapsack optimum.
+    #[test]
+    fn mkp_lp_feasible_and_tight(
+        items in prop::collection::vec((10u64..50, 1u64..10, 1u64..500u64), 1..30),
+        rows in 1usize..5,
+        width in 80u64..200,
+    ) {
+        let items: Vec<MkpItem> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &(eff, blank, profit))| MkpItem {
+                char_index: i,
+                eff_width: eff,
+                blank,
+                profit: profit as f64,
+            })
+            .collect();
+        let base = vec![RowBase::default(); rows];
+        let sol = solve_mkp_lp(&items, &base, width);
+
+        // Feasibility: Σ_j a_ij ≤ 1, capacities respected under final B_j.
+        let mut load = vec![0.0f64; rows];
+        for (k, fr) in sol.fracs.iter().enumerate() {
+            let total: f64 = fr.iter().map(|&(_, f)| f).sum();
+            prop_assert!(total <= 1.0 + 1e-9);
+            for &(j, f) in fr {
+                prop_assert!(f >= -1e-12);
+                load[j] += f * items[k].eff_width as f64;
+            }
+        }
+        for j in 0..rows {
+            prop_assert!(load[j] <= (width.saturating_sub(sol.blanks[j])) as f64 + 1e-6);
+        }
+
+        // Tightness: objective equals the density-greedy aggregate bound
+        // with the final blanks.
+        let caps: f64 = (0..rows)
+            .map(|j| width.saturating_sub(sol.blanks[j]) as f64)
+            .sum();
+        let mut order: Vec<usize> = (0..items.len()).filter(|&k| items[k].profit > 0.0).collect();
+        order.sort_by(|&a, &b| {
+            (items[b].profit / items[b].eff_width as f64)
+                .partial_cmp(&(items[a].profit / items[a].eff_width as f64))
+                .unwrap()
+        });
+        let mut room = caps;
+        let mut bound = 0.0;
+        for &k in &order {
+            let take = (room / items[k].eff_width as f64).min(1.0).max(0.0);
+            bound += take * items[k].profit;
+            room -= take * items[k].eff_width as f64;
+            if room <= 0.0 {
+                break;
+            }
+        }
+        prop_assert!(sol.objective <= bound + 1e-6,
+            "objective {} exceeds aggregate bound {bound}", sol.objective);
+    }
+}

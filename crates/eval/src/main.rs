@@ -1,0 +1,348 @@
+//! `eblow-eval` — regenerates every table and figure of the paper's
+//! evaluation (§5) on the synthetic benchmark suite.
+//!
+//! ```text
+//! eblow-eval table3                 Table 3  (1DOSP comparison)
+//! eblow-eval table4                 Table 4  (2DOSP comparison)
+//! eblow-eval table5 [--ilp-limit-s N]   Table 5 (exact ILP vs E-BLOW)
+//! eblow-eval fig5                   Fig. 5   (unsolved chars per LP iteration)
+//! eblow-eval fig6                   Fig. 6   (last-LP value histogram)
+//! eblow-eval fig11                  Fig. 11  (E-BLOW-0 vs E-BLOW-1 writing time)
+//! eblow-eval fig12                  Fig. 12  (E-BLOW-0 vs E-BLOW-1 runtime)
+//! eblow-eval all [--ilp-limit-s N]  everything above
+//! ```
+
+use eblow_core::baselines::{greedy_1d, greedy_2d, heuristic_1d, row_heuristic_1d, sa_2d};
+use eblow_core::ilp::{solve_ilp_1d, solve_ilp_2d};
+use eblow_core::oned::{Eblow1d, Eblow1dConfig};
+use eblow_core::twod::Eblow2d;
+use eblow_gen::{table3_suite, table4_suite, Family};
+use eblow_lp::MilpStatus;
+use std::time::Duration;
+
+struct MethodRow {
+    t: u64,
+    chars: usize,
+    cpu: f64,
+}
+
+fn print_header(title: &str, methods: &[&str]) {
+    println!();
+    println!("== {title} ==");
+    print!("{:8}", "case");
+    for m in methods {
+        print!(" | {m:>10} {:>6} {:>8}", "char#", "CPU(s)");
+    }
+    println!();
+}
+
+fn print_case(name: &str, rows: &[MethodRow]) {
+    print!("{name:8}");
+    for r in rows {
+        print!(" | {:>10} {:>6} {:>8.3}", r.t, r.chars, r.cpu);
+    }
+    println!();
+}
+
+fn print_summary(methods: &[&str], all: &[Vec<MethodRow>]) {
+    let cases = all.len() as f64;
+    let k = methods.len();
+    let mut avg_t = vec![0.0f64; k];
+    let mut avg_c = vec![0.0f64; k];
+    let mut avg_cpu = vec![0.0f64; k];
+    for rows in all {
+        for (j, r) in rows.iter().enumerate() {
+            avg_t[j] += r.t as f64 / cases;
+            avg_c[j] += r.chars as f64 / cases;
+            avg_cpu[j] += r.cpu / cases;
+        }
+    }
+    print!("{:8}", "Avg.");
+    for j in 0..k {
+        print!(" | {:>10.1} {:>6.1} {:>8.3}", avg_t[j], avg_c[j], avg_cpu[j]);
+    }
+    println!();
+    // Ratios relative to the last method (E-BLOW), as in the paper.
+    let base_t = avg_t[k - 1];
+    let base_c = avg_c[k - 1];
+    let base_cpu = avg_cpu[k - 1].max(1e-9);
+    print!("{:8}", "Ratio");
+    for j in 0..k {
+        print!(
+            " | {:>10.2} {:>6.2} {:>8.2}",
+            avg_t[j] / base_t,
+            avg_c[j] / base_c,
+            avg_cpu[j] / base_cpu
+        );
+    }
+    println!();
+}
+
+fn table3() {
+    let methods = ["Greedy[24]", "Heur[24]", "Row[25]", "E-BLOW"];
+    print_header(
+        "Table 3: 1DOSP (writing time T, characters on stencil, CPU seconds)",
+        &methods,
+    );
+    let mut all = Vec::new();
+    for (name, inst) in table3_suite() {
+        let g = greedy_1d(&inst).expect("1D instance");
+        let h = heuristic_1d(&inst, &Default::default()).expect("1D instance");
+        let r = row_heuristic_1d(&inst).expect("1D instance");
+        let e = Eblow1d::default().plan(&inst).expect("1D instance");
+        for (plan, label) in [(&g, "greedy"), (&h, "heur24"), (&r, "row25"), (&e, "eblow")] {
+            plan.placement
+                .validate(&inst)
+                .unwrap_or_else(|err| panic!("{label} produced invalid plan on {name}: {err}"));
+        }
+        let rows = vec![
+            MethodRow {
+                t: g.total_time,
+                chars: g.selection.count(),
+                cpu: g.elapsed.as_secs_f64(),
+            },
+            MethodRow {
+                t: h.total_time,
+                chars: h.selection.count(),
+                cpu: h.elapsed.as_secs_f64(),
+            },
+            MethodRow {
+                t: r.total_time,
+                chars: r.selection.count(),
+                cpu: r.elapsed.as_secs_f64(),
+            },
+            MethodRow {
+                t: e.total_time,
+                chars: e.selection.count(),
+                cpu: e.elapsed.as_secs_f64(),
+            },
+        ];
+        print_case(&name, &rows);
+        all.push(rows);
+    }
+    print_summary(&methods, &all);
+}
+
+fn table4() {
+    let methods = ["Greedy[24]", "SA[24]", "E-BLOW"];
+    print_header(
+        "Table 4: 2DOSP (writing time T, characters on stencil, CPU seconds)",
+        &methods,
+    );
+    let mut all = Vec::new();
+    for (name, inst) in table4_suite() {
+        let g = greedy_2d(&inst).expect("2D instance");
+        let s = sa_2d(&inst, &Default::default()).expect("2D instance");
+        let e = Eblow2d::default().plan(&inst).expect("2D instance");
+        for (plan, label) in [(&g, "greedy"), (&s, "sa24"), (&e, "eblow")] {
+            plan.placement
+                .validate(&inst)
+                .unwrap_or_else(|err| panic!("{label} produced invalid plan on {name}: {err}"));
+        }
+        let rows = vec![
+            MethodRow {
+                t: g.total_time,
+                chars: g.selection.count(),
+                cpu: g.elapsed.as_secs_f64(),
+            },
+            MethodRow {
+                t: s.total_time,
+                chars: s.selection.count(),
+                cpu: s.elapsed.as_secs_f64(),
+            },
+            MethodRow {
+                t: e.total_time,
+                chars: e.selection.count(),
+                cpu: e.elapsed.as_secs_f64(),
+            },
+        ];
+        print_case(&name, &rows);
+        all.push(rows);
+    }
+    print_summary(&methods, &all);
+}
+
+fn table5(ilp_limit: Duration) {
+    println!();
+    println!("== Table 5: exact ILP (formulations (3)/(7)) vs E-BLOW ==");
+    println!(
+        "{:6} {:>6} {:>8} | {:>10} {:>6} {:>9} {:>10} | {:>10} {:>6} {:>9}",
+        "case",
+        "cand#",
+        "binary#",
+        "ILP T",
+        "char#",
+        "CPU(s)",
+        "status",
+        "E-BLOW T",
+        "char#",
+        "CPU(s)"
+    );
+    for k in 1..=5u8 {
+        let inst = eblow_gen::benchmark(Family::T1(k));
+        let ilp = solve_ilp_1d(&inst, ilp_limit).expect("1D instance");
+        let e = Eblow1d::default().plan(&inst).expect("1D instance");
+        let brute = eblow_hardness::brute_force_min_row(&inst);
+        let (ilp_t, ilp_c) = match ilp.total_time {
+            Some(t) if ilp.status != MilpStatus::TimedOut => {
+                (t.to_string(), ilp.selected.len().to_string())
+            }
+            _ => ("NA".into(), "NA".into()),
+        };
+        println!(
+            "{:6} {:>6} {:>8} | {:>10} {:>6} {:>9.3} {:>10} | {:>10} {:>6} {:>9.4}   (certified optimum: {brute})",
+            format!("1T-{k}"),
+            inst.num_chars(),
+            ilp.binary_vars,
+            ilp_t,
+            ilp_c,
+            ilp.elapsed.as_secs_f64(),
+            format!("{:?}", ilp.status),
+            e.total_time,
+            e.selection.count(),
+            e.elapsed.as_secs_f64(),
+        );
+    }
+    for k in 1..=4u8 {
+        let inst = eblow_gen::benchmark(Family::T2(k));
+        let ilp = solve_ilp_2d(&inst, ilp_limit);
+        let e = Eblow2d::default().plan(&inst).expect("2D instance");
+        let (ilp_t, ilp_c) = match ilp.total_time {
+            Some(t) if ilp.status != MilpStatus::TimedOut => {
+                (t.to_string(), ilp.selected.len().to_string())
+            }
+            _ => ("NA".into(), "NA".into()),
+        };
+        println!(
+            "{:6} {:>6} {:>8} | {:>10} {:>6} {:>9.3} {:>10} | {:>10} {:>6} {:>9.4}",
+            format!("2T-{k}"),
+            inst.num_chars(),
+            ilp.binary_vars,
+            ilp_t,
+            ilp_c,
+            ilp.elapsed.as_secs_f64(),
+            format!("{:?}", ilp.status),
+            e.total_time,
+            e.selection.count(),
+            e.elapsed.as_secs_f64(),
+        );
+    }
+    println!(
+        "(ILP time limit: {}s per case; \"NA\" = no incumbent in time, as in the paper)",
+        ilp_limit.as_secs()
+    );
+}
+
+fn fig5() {
+    println!();
+    println!("== Fig. 5: unsolved characters per LP iteration (1M-1..4) ==");
+    println!("iteration, 1M-1, 1M-2, 1M-3, 1M-4");
+    let traces: Vec<Vec<usize>> = (1..=4u8)
+        .map(|k| {
+            let inst = eblow_gen::benchmark(Family::M1(k));
+            let plan = Eblow1d::default().plan(&inst).expect("1D instance");
+            plan.trace.expect("E-BLOW records a trace").unsolved_per_iter
+        })
+        .collect();
+    let rows = traces.iter().map(Vec::len).max().unwrap_or(0);
+    for it in 0..rows {
+        print!("{it}");
+        for t in &traces {
+            match t.get(it) {
+                Some(v) => print!(", {v}"),
+                None => print!(", "),
+            }
+        }
+        println!();
+    }
+}
+
+fn fig6() {
+    println!();
+    println!("== Fig. 6: distribution of a_ij in the last LP (1M-1) ==");
+    let inst = eblow_gen::benchmark(Family::M1(1));
+    let plan = Eblow1d::default().plan(&inst).expect("1D instance");
+    let hist = plan.trace.expect("trace").last_lp_histogram;
+    for (b, count) in hist.iter().enumerate() {
+        println!(
+            "{:.1} - {:.1}: {count}",
+            b as f64 / 10.0,
+            (b + 1) as f64 / 10.0
+        );
+    }
+}
+
+fn fig11_12() {
+    println!();
+    println!("== Figs. 11/12: E-BLOW-0 vs E-BLOW-1 (writing time and runtime) ==");
+    println!(
+        "{:8} | {:>10} {:>10} {:>8} | {:>9} {:>9} {:>8}",
+        "case", "T(E-0)", "T(E-1)", "T ratio", "CPU(E-0)", "CPU(E-1)", "t ratio"
+    );
+    let mut t_ratio_sum = 0.0;
+    let mut cpu_ratio_sum = 0.0;
+    let mut cases = 0.0;
+    for (name, inst) in table3_suite() {
+        let p0 = Eblow1d::new(Eblow1dConfig::eblow0())
+            .plan(&inst)
+            .expect("1D instance");
+        let p1 = Eblow1d::new(Eblow1dConfig::eblow1())
+            .plan(&inst)
+            .expect("1D instance");
+        let tr = p1.total_time as f64 / p0.total_time.max(1) as f64;
+        let cr = p1.elapsed.as_secs_f64() / p0.elapsed.as_secs_f64().max(1e-9);
+        t_ratio_sum += tr;
+        cpu_ratio_sum += cr;
+        cases += 1.0;
+        println!(
+            "{name:8} | {:>10} {:>10} {:>8.3} | {:>9.3} {:>9.3} {:>8.3}",
+            p0.total_time,
+            p1.total_time,
+            tr,
+            p0.elapsed.as_secs_f64(),
+            p1.elapsed.as_secs_f64(),
+            cr
+        );
+    }
+    println!(
+        "Avg. T(E-1)/T(E-0) = {:.3}   (paper: 0.91) | Avg. CPU(E-1)/CPU(E-0) = {:.3}   (paper: 0.61)",
+        t_ratio_sum / cases,
+        cpu_ratio_sum / cases
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let ilp_limit = args
+        .iter()
+        .position(|a| a == "--ilp-limit-s")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_secs)
+        .unwrap_or(Duration::from_secs(60));
+
+    match cmd {
+        "table3" => table3(),
+        "table4" => table4(),
+        "table5" => table5(ilp_limit),
+        "fig5" => fig5(),
+        "fig6" => fig6(),
+        "fig11" | "fig12" => fig11_12(),
+        "all" => {
+            table3();
+            table4();
+            table5(ilp_limit);
+            fig5();
+            fig6();
+            fig11_12();
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            eprintln!(
+                "usage: eblow-eval [table3|table4|table5|fig5|fig6|fig11|fig12|all] [--ilp-limit-s N]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

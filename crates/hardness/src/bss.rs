@@ -1,0 +1,107 @@
+//! The Bounded Subset Sum (BSS) problem (paper Problem 2).
+
+use crate::Digits;
+
+/// A BSS instance: numbers `x_1..x_n` with `2·x_i > max_i x_i`, and a
+/// target `s`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BssInstance {
+    /// The number list.
+    pub numbers: Vec<Digits>,
+    /// The target sum.
+    pub target: Digits,
+}
+
+impl BssInstance {
+    /// Creates an instance, checking the boundedness constraint
+    /// `2·x_i > max_j x_j` for every `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the index of the first violating number.
+    pub fn new(numbers: Vec<Digits>, target: Digits) -> Result<Self, usize> {
+        if let Some(max) = numbers.iter().max().cloned() {
+            for (i, x) in numbers.iter().enumerate() {
+                if x.double() <= max {
+                    return Err(i);
+                }
+            }
+        }
+        Ok(BssInstance { numbers, target })
+    }
+
+    /// Creates an instance from `u64` values.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BssInstance::new`].
+    pub fn from_u64(numbers: &[u64], target: u64) -> Result<Self, usize> {
+        BssInstance::new(
+            numbers.iter().map(|&v| Digits::from_u64(v)).collect(),
+            Digits::from_u64(target),
+        )
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.numbers.len()
+    }
+
+    /// `true` when the instance has no numbers.
+    pub fn is_empty(&self) -> bool {
+        self.numbers.is_empty()
+    }
+}
+
+/// Decides a BSS instance by exhaustive subset enumeration (`O(2^n)`;
+/// test oracle for n ≲ 20). Returns a witness subset when satisfiable.
+pub fn brute_force_bss(instance: &BssInstance) -> Option<Vec<usize>> {
+    let n = instance.len();
+    assert!(n <= 24, "brute force limited to small instances");
+    for mask in 0u64..(1 << n) {
+        let mut sum = Digits::zero();
+        for (i, x) in instance.numbers.iter().enumerate() {
+            if (mask >> i) & 1 == 1 {
+                sum = sum.add(x);
+            }
+        }
+        if sum == instance.target {
+            return Some((0..n).filter(|i| (mask >> i) & 1 == 1).collect());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        // "given three numbers 1100, 1200, 1413 and T = 2300, we can find a
+        // subset {1100, 1200}".
+        let inst = BssInstance::from_u64(&[1100, 1200, 1413], 2300).unwrap();
+        let witness = brute_force_bss(&inst).unwrap();
+        assert_eq!(witness, vec![0, 1]);
+    }
+
+    #[test]
+    fn boundedness_enforced() {
+        // 500·2 = 1000 ≤ 1413 violates 2·x > max.
+        assert_eq!(BssInstance::from_u64(&[500, 1413], 100), Err(0));
+        assert!(BssInstance::from_u64(&[800, 1413], 100).is_ok());
+    }
+
+    #[test]
+    fn unsat_instance() {
+        let inst = BssInstance::from_u64(&[1100, 1200, 2000], 1500).unwrap();
+        assert!(brute_force_bss(&inst).is_none());
+    }
+
+    #[test]
+    fn empty_target_zero_is_sat() {
+        let inst = BssInstance::from_u64(&[], 0).unwrap();
+        assert_eq!(brute_force_bss(&inst), Some(vec![]));
+        assert!(inst.is_empty());
+    }
+}

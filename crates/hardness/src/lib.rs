@@ -1,0 +1,31 @@
+//! Executable NP-hardness constructions from the paper (§2.2 + appendix).
+//!
+//! The paper proves OSP NP-hard through two reductions:
+//!
+//! 1. **3SAT ≤p BSS** (Theorem 1 / Lemma 6): a digit-encoding construction
+//!    mapping a 3-CNF formula to a Bounded Subset Sum instance
+//!    (`2·x_i > max x` for every number).
+//! 2. **BSS ≤p 1DOSP** (Lemma 2): each BSS number `x_i` becomes a character
+//!    of width `M = max x` with symmetric blanks `M − x_i`, on a single row
+//!    of length `M + s`; a subset sums to `s` iff the row packs to exactly
+//!    `M + s` with total writing time below `Σ x_i`.
+//!
+//! This crate implements both constructions *as code*, together with
+//! brute-force decision procedures for 3SAT, BSS and single-row 1DOSP, so
+//! the equivalences can be property-tested on small instances — the
+//! executable counterpart of the paper's proofs. Digit arithmetic uses a
+//! tiny base-10 bignum ([`Digits`]) because the construction needs
+//! `n + 2m + 1` digits, which overflows `u128` quickly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bignum;
+mod bss;
+mod osp;
+mod threesat;
+
+pub use bignum::Digits;
+pub use bss::{brute_force_bss, BssInstance};
+pub use osp::{bss_to_osp, brute_force_min_row, OspRowInstance};
+pub use threesat::{brute_force_sat, decode_assignment, threesat_to_bss, Clause, Literal, ThreeSat};

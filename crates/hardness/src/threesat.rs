@@ -1,0 +1,273 @@
+//! 3SAT and the digit-encoding reduction **3SAT ≤p BSS**
+//! (paper appendix, Lemma 6 and Fig. 13).
+
+use crate::{BssInstance, Digits};
+
+/// A literal: variable index plus polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// Variable index, `0..num_vars`.
+    pub var: usize,
+    /// `true` for `¬y_var`.
+    pub negated: bool,
+}
+
+impl Literal {
+    /// Positive literal `y_v`.
+    pub fn pos(v: usize) -> Self {
+        Literal {
+            var: v,
+            negated: false,
+        }
+    }
+
+    /// Negative literal `¬y_v`.
+    pub fn neg(v: usize) -> Self {
+        Literal {
+            var: v,
+            negated: true,
+        }
+    }
+
+    /// Evaluates under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assignment[self.var] ^ self.negated
+    }
+}
+
+/// A 3-literal clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Clause(pub [Literal; 3]);
+
+impl Clause {
+    /// Evaluates under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.0.iter().any(|l| l.eval(assignment))
+    }
+}
+
+/// A 3SAT formula satisfying the paper's two normalizations: no clause
+/// contains a variable and its negation, and every variable appears in at
+/// least one clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreeSat {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl ThreeSat {
+    /// Creates a formula, enforcing the normalizations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated assumption.
+    pub fn new(num_vars: usize, clauses: Vec<Clause>) -> Result<Self, String> {
+        let mut seen = vec![false; num_vars];
+        for (ci, clause) in clauses.iter().enumerate() {
+            for l in &clause.0 {
+                if l.var >= num_vars {
+                    return Err(format!("clause {ci} uses unknown variable {}", l.var));
+                }
+                seen[l.var] = true;
+            }
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    if clause.0[a].var == clause.0[b].var
+                        && clause.0[a].negated != clause.0[b].negated
+                    {
+                        return Err(format!("clause {ci} contains y and ¬y"));
+                    }
+                }
+            }
+        }
+        if let Some(v) = seen.iter().position(|&s| !s) {
+            return Err(format!("variable {v} appears in no clause"));
+        }
+        Ok(ThreeSat { num_vars, clauses })
+    }
+
+    /// Evaluates the formula.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+}
+
+/// Exhaustive SAT check (`O(2^n)`; test oracle). Returns a witness.
+pub fn brute_force_sat(sat: &ThreeSat) -> Option<Vec<bool>> {
+    assert!(sat.num_vars <= 20, "brute force limited to small formulas");
+    for mask in 0u64..(1 << sat.num_vars) {
+        let assignment: Vec<bool> = (0..sat.num_vars).map(|v| (mask >> v) & 1 == 1).collect();
+        if sat.eval(&assignment) {
+            return Some(assignment);
+        }
+    }
+    None
+}
+
+/// The appendix construction: maps a 3SAT formula to a BSS instance.
+///
+/// Number layout (all `n + 2m + 1` digits, leading digit 1):
+///
+/// * `t_i` / `f_i` per variable — variable digit `i` set to 1, clause-
+///   literal digits set where the clause contains `y_i` / `¬y_i`;
+/// * `c_j1, c_j2, c_j3` per clause — clause-literal digit `j` set to
+///   `1/2/3`, clause-selector digit `j` set to 1;
+/// * target `s = (n+m)·10^{n+2m} + s0` with `s0 = 1…1 4…4 1…1`
+///   (n ones, m fours, m ones).
+///
+/// Returns the instance; numbers are ordered `t_1, f_1, …, t_n, f_n,
+/// c_11, c_12, c_13, …` so a BSS witness can be decoded with
+/// [`decode_assignment`].
+pub fn threesat_to_bss(sat: &ThreeSat) -> BssInstance {
+    let n = sat.num_vars;
+    let m = sat.clauses.len();
+    let width = n + 2 * m + 1;
+    let mut numbers: Vec<Digits> = Vec::with_capacity(2 * n + 3 * m);
+
+    for v in 0..n {
+        for negated in [false, true] {
+            let mut digits = vec![0u8; width];
+            digits[0] = 1;
+            digits[1 + v] = 1;
+            for (j, clause) in sat.clauses.iter().enumerate() {
+                if clause
+                    .0
+                    .iter()
+                    .any(|l| l.var == v && l.negated == negated)
+                {
+                    digits[1 + n + j] = 1;
+                }
+            }
+            numbers.push(Digits::from_digits(digits));
+        }
+    }
+    for j in 0..m {
+        for k in 1..=3u8 {
+            let mut digits = vec![0u8; width];
+            digits[0] = 1;
+            digits[1 + n + j] = k;
+            digits[1 + n + m + j] = 1;
+            numbers.push(Digits::from_digits(digits));
+        }
+    }
+
+    // Target: leading (n+m) followed by n ones, m fours, m ones.
+    let mut target_digits: Vec<u8> = (n + m)
+        .to_string()
+        .bytes()
+        .map(|b| b - b'0')
+        .collect();
+    target_digits.extend(std::iter::repeat(1).take(n));
+    target_digits.extend(std::iter::repeat(4).take(m));
+    target_digits.extend(std::iter::repeat(1).take(m));
+    let target = Digits::from_digits(target_digits);
+
+    BssInstance::new(numbers, target).expect("construction satisfies boundedness")
+}
+
+/// Decodes a BSS witness (indices into the constructed number list) back
+/// into a truth assignment: index `2v` = `t_v` (true), `2v + 1` = `f_v`.
+pub fn decode_assignment(sat: &ThreeSat, witness: &[usize]) -> Vec<bool> {
+    let mut assignment = vec![false; sat.num_vars];
+    for &idx in witness {
+        if idx < 2 * sat.num_vars && idx % 2 == 0 {
+            assignment[idx / 2] = true;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force_bss;
+
+    /// The paper's running example (Eqn. 9):
+    /// (y1 ∨ ¬y3 ∨ ¬y4) ∧ (¬y1 ∨ y2 ∨ ¬y4)
+    fn paper_formula() -> ThreeSat {
+        ThreeSat::new(
+            4,
+            vec![
+                Clause([Literal::pos(0), Literal::neg(2), Literal::neg(3)]),
+                Clause([Literal::neg(0), Literal::pos(1), Literal::neg(3)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_numbers_match_fig13() {
+        let bss = threesat_to_bss(&paper_formula());
+        // t1 = 110001000, f1 = 110000100 (Fig. 13)
+        assert_eq!(bss.numbers[0].to_string(), "110001000");
+        assert_eq!(bss.numbers[1].to_string(), "110000100");
+        // f3 = 100101000, f4 = 100011100
+        assert_eq!(bss.numbers[5].to_string(), "100101000");
+        assert_eq!(bss.numbers[7].to_string(), "100011100");
+        // c12 = 100002010, c21 = 100000101
+        assert_eq!(bss.numbers[9].to_string(), "100002010");
+        assert_eq!(bss.numbers[11].to_string(), "100000101");
+        // s = 611114411
+        assert_eq!(bss.target.to_string(), "611114411");
+    }
+
+    #[test]
+    fn paper_witness_sums_to_target() {
+        // ⟨y1=0, y2=1, y3=0, y4=0⟩ → f1 + t2 + f3 + f4 + c12 + c21 = s.
+        let bss = threesat_to_bss(&paper_formula());
+        let picks = [1usize, 2, 5, 7, 9, 11];
+        let mut sum = Digits::zero();
+        for &i in &picks {
+            sum = sum.add(&bss.numbers[i]);
+        }
+        assert_eq!(sum, bss.target);
+    }
+
+    #[test]
+    fn reduction_preserves_satisfiability() {
+        // Several small formulas, both SAT and UNSAT.
+        let formulas: Vec<ThreeSat> = vec![
+            paper_formula(),
+            // UNSAT on one variable padded into 3-literal clauses is not
+            // expressible without duplicate vars; use a 2-var UNSAT core:
+            // (a∨a∨b) ∧ (a∨a∨¬b) ∧ (¬a∨¬a∨b) ∧ (¬a∨¬a∨¬b)
+            ThreeSat::new(
+                2,
+                vec![
+                    Clause([Literal::pos(0), Literal::pos(0), Literal::pos(1)]),
+                    Clause([Literal::pos(0), Literal::pos(0), Literal::neg(1)]),
+                    Clause([Literal::neg(0), Literal::neg(0), Literal::pos(1)]),
+                    Clause([Literal::neg(0), Literal::neg(0), Literal::neg(1)]),
+                ],
+            )
+            .unwrap(),
+        ];
+        for sat in formulas {
+            let bss = threesat_to_bss(&sat);
+            let sat_answer = brute_force_sat(&sat).is_some();
+            let bss_witness = brute_force_bss(&bss);
+            assert_eq!(
+                sat_answer,
+                bss_witness.is_some(),
+                "equivalence failed for {sat:?}"
+            );
+            if let Some(w) = bss_witness {
+                let assignment = decode_assignment(&sat, &w);
+                assert!(sat.eval(&assignment), "decoded assignment must satisfy");
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_checks() {
+        assert!(ThreeSat::new(
+            1,
+            vec![Clause([Literal::pos(0), Literal::neg(0), Literal::pos(0)])]
+        )
+        .is_err());
+        assert!(ThreeSat::new(2, vec![Clause([Literal::pos(0); 3])]).is_err()); // var 1 unused
+        assert!(ThreeSat::new(1, vec![Clause([Literal::pos(1); 3])]).is_err()); // unknown var
+    }
+}

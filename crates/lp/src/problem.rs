@@ -1,0 +1,293 @@
+use crate::simplex::Simplex;
+use std::fmt;
+
+/// Optimization direction of an [`LpProblem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Relation of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `Σ a_j x_j ≤ rhs`
+    Le,
+    /// `Σ a_j x_j = rhs`
+    Eq,
+    /// `Σ a_j x_j ≥ rhs`
+    Ge,
+}
+
+/// Handle to a decision variable of an [`LpProblem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Index of the variable in [`LpSolution::values`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a constraint row of an [`LpProblem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RowId(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarDef {
+    pub lb: f64,
+    pub ub: f64,
+    pub obj: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct RowDef {
+    pub terms: Vec<(usize, f64)>,
+    pub rel: Relation,
+    pub rhs: f64,
+}
+
+/// Termination status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LpStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The iteration limit was exhausted before convergence.
+    IterationLimit,
+}
+
+impl fmt::Display for LpStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LpStatus::Optimal => "optimal",
+            LpStatus::Infeasible => "infeasible",
+            LpStatus::Unbounded => "unbounded",
+            LpStatus::IterationLimit => "iteration limit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of an LP solve.
+///
+/// `objective` and `values` are meaningful only when
+/// `status == LpStatus::Optimal`.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Termination status.
+    pub status: LpStatus,
+    /// Objective value in the problem's own sense.
+    pub objective: f64,
+    /// Value of each variable, indexed by [`VarId::index`].
+    pub values: Vec<f64>,
+    /// Simplex pivots spent (phase 1 + phase 2).
+    pub iterations: usize,
+}
+
+/// A linear program under construction.
+///
+/// Variables carry bounds `[lb, ub]` (`ub` may be `f64::INFINITY`; `lb` must
+/// be finite — shift the variable if you need a free variable, which none of
+/// the E-BLOW formulations do) and an objective coefficient. Constraints are
+/// sparse term lists.
+///
+/// Use [`LpProblem::solve`] for a default-configured simplex solve, or
+/// [`Simplex::solve`] for explicit configuration.
+#[derive(Debug, Clone, Default)]
+pub struct LpProblem {
+    pub(crate) sense: Option<Sense>,
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) rows: Vec<RowDef>,
+}
+
+impl LpProblem {
+    /// Creates a minimization problem.
+    pub fn minimize() -> Self {
+        LpProblem {
+            sense: Some(Sense::Minimize),
+            ..Default::default()
+        }
+    }
+
+    /// Creates a maximization problem.
+    pub fn maximize() -> Self {
+        LpProblem {
+            sense: Some(Sense::Maximize),
+            ..Default::default()
+        }
+    }
+
+    /// Optimization sense (defaults to minimize for `Default`-built problems).
+    pub fn sense(&self) -> Sense {
+        self.sense.unwrap_or(Sense::Minimize)
+    }
+
+    /// Adds a variable with bounds `[lb, ub]` and objective coefficient
+    /// `obj`; returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lb` is not finite, if `ub < lb`, or if any value is NaN.
+    pub fn add_var(&mut self, lb: f64, ub: f64, obj: f64) -> VarId {
+        assert!(lb.is_finite(), "lower bound must be finite");
+        assert!(!ub.is_nan() && ub >= lb, "upper bound must be ≥ lower bound");
+        assert!(obj.is_finite(), "objective coefficient must be finite");
+        self.vars.push(VarDef { lb, ub, obj });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Adds a binary (0/1) variable convenience wrapper.
+    pub fn add_binary(&mut self, obj: f64) -> VarId {
+        self.add_var(0.0, 1.0, obj)
+    }
+
+    /// Adds a linear constraint `Σ terms rel rhs`; returns its handle.
+    ///
+    /// Duplicate variables in `terms` are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced variable does not belong to this problem or
+    /// any coefficient is non-finite.
+    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], rel: Relation, rhs: f64) -> RowId {
+        assert!(rhs.is_finite(), "constraint rhs must be finite");
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+        for &(v, a) in terms {
+            assert!(v.0 < self.vars.len(), "variable out of range");
+            assert!(a.is_finite(), "coefficient must be finite");
+            if let Some(slot) = merged.iter_mut().find(|(i, _)| *i == v.0) {
+                slot.1 += a;
+            } else {
+                merged.push((v.0, a));
+            }
+        }
+        self.rows.push(RowDef {
+            terms: merged,
+            rel,
+            rhs,
+        });
+        RowId(self.rows.len() - 1)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Tightens the bounds of an existing variable (used by branch & bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is unknown or the new bounds are inverted.
+    pub fn set_bounds(&mut self, var: VarId, lb: f64, ub: f64) {
+        assert!(lb.is_finite() && !ub.is_nan() && ub >= lb);
+        let v = &mut self.vars[var.0];
+        v.lb = lb;
+        v.ub = ub;
+    }
+
+    /// Current bounds of a variable.
+    pub fn bounds(&self, var: VarId) -> (f64, f64) {
+        let v = &self.vars[var.0];
+        (v.lb, v.ub)
+    }
+
+    /// Evaluates the objective at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.vars.len());
+        self.vars.iter().zip(x).map(|(v, &xi)| v.obj * xi).sum()
+    }
+
+    /// Checks primal feasibility of a point within tolerance `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.vars.len() {
+            return false;
+        }
+        for (v, &xi) in self.vars.iter().zip(x) {
+            if xi < v.lb - tol || xi > v.ub + tol {
+                return false;
+            }
+        }
+        for row in &self.rows {
+            let lhs: f64 = row.terms.iter().map(|&(i, a)| a * x[i]).sum();
+            let ok = match row.rel {
+                Relation::Le => lhs <= row.rhs + tol,
+                Relation::Eq => (lhs - row.rhs).abs() <= tol,
+                Relation::Ge => lhs >= row.rhs - tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Solves the problem with a default-configured [`Simplex`].
+    ///
+    /// # Errors
+    ///
+    /// Never errors today; the `Result` leaves room for resource-limit
+    /// configurations. Inspect [`LpSolution::status`] for the outcome.
+    pub fn solve(&self) -> Result<LpSolution, std::convert::Infallible> {
+        Ok(Simplex::default().solve(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_merges_duplicate_terms() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var(0.0, 1.0, 1.0);
+        lp.add_constraint(&[(x, 1.0), (x, 2.0)], Relation::Le, 5.0);
+        assert_eq!(lp.rows[0].terms, vec![(0, 3.0)]);
+    }
+
+    #[test]
+    fn feasibility_checker() {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var(0.0, 2.0, 1.0);
+        let y = lp.add_var(0.0, 2.0, 1.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 1.0);
+        assert!(lp.is_feasible(&[0.5, 0.5], 1e-9));
+        assert!(!lp.is_feasible(&[0.0, 0.5], 1e-9));
+        assert!(!lp.is_feasible(&[3.0, 0.0], 1e-9));
+        assert!(!lp.is_feasible(&[0.5], 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound must be finite")]
+    fn infinite_lb_rejected() {
+        let mut lp = LpProblem::minimize();
+        lp.add_var(f64::NEG_INFINITY, 1.0, 0.0);
+    }
+
+    #[test]
+    fn objective_value_and_bounds() {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_binary(3.0);
+        assert_eq!(lp.bounds(x), (0.0, 1.0));
+        lp.set_bounds(x, 1.0, 1.0);
+        assert_eq!(lp.bounds(x), (1.0, 1.0));
+        assert_eq!(lp.objective_value(&[1.0]), 3.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the LP/MILP substrate.
+//!
+//! Strategy: generate problems whose optimum is known analytically
+//! (fractional knapsack) or computable by brute force (0/1 knapsack DP,
+//! vertex enumeration is avoided), plus feasible-by-construction problems
+//! where the solver must (a) report `Optimal`, (b) return a feasible point,
+//! and (c) weakly beat a known feasible point.
+
+use eblow_lp::{BranchBound, LpProblem, LpStatus, MilpConfig, MilpStatus, Relation, Simplex};
+use proptest::prelude::*;
+
+fn knapsack_items() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    // (profit, weight), weight ≥ 1
+    prop::collection::vec((1u32..100, 1u32..30), 1..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LP relaxation of a knapsack equals the density-greedy fractional fill.
+    #[test]
+    fn fractional_knapsack_lp_matches_greedy(items in knapsack_items(), cap in 1u32..200) {
+        let mut lp = LpProblem::maximize();
+        let vars: Vec<_> = items.iter().map(|&(p, _)| lp.add_var(0.0, 1.0, p as f64)).collect();
+        let terms: Vec<_> = vars.iter().zip(&items).map(|(&v, &(_, w))| (v, w as f64)).collect();
+        lp.add_constraint(&terms, Relation::Le, cap as f64);
+        let sol = Simplex::default().solve(&lp);
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+
+        // Analytic optimum: sort by density, fill fractionally.
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_by(|&a, &b| {
+            let da = items[a].0 as f64 / items[a].1 as f64;
+            let db = items[b].0 as f64 / items[b].1 as f64;
+            db.partial_cmp(&da).unwrap()
+        });
+        let mut room = cap as f64;
+        let mut best = 0.0;
+        for &i in &order {
+            let (p, w) = (items[i].0 as f64, items[i].1 as f64);
+            let take = (room / w).min(1.0).max(0.0);
+            best += take * p;
+            room -= take * w;
+            if room <= 0.0 { break; }
+        }
+        prop_assert!((sol.objective - best).abs() < 1e-6,
+            "lp {} vs greedy {}", sol.objective, best);
+        prop_assert!(lp.is_feasible(&sol.values, 1e-6));
+    }
+
+    /// Feasible-by-construction LPs: solver must find a feasible optimum at
+    /// least as good as the seed point.
+    #[test]
+    fn random_feasible_lp_beats_seed_point(
+        n in 1usize..6,
+        m in 0usize..6,
+        coeffs in prop::collection::vec(-5.0f64..5.0, 36),
+        seed in prop::collection::vec(0.0f64..1.0, 6),
+        obj in prop::collection::vec(-3.0f64..3.0, 6),
+    ) {
+        let mut lp = LpProblem::minimize();
+        let vars: Vec<_> = (0..n).map(|j| lp.add_var(0.0, 1.0, obj[j])).collect();
+        let x0: Vec<f64> = seed[..n].to_vec();
+        for i in 0..m {
+            let terms: Vec<_> = (0..n).map(|j| (vars[j], coeffs[i * 6 + j])).collect();
+            let lhs: f64 = (0..n).map(|j| coeffs[i * 6 + j] * x0[j]).sum();
+            // Constraint passes through a margin above the seed point.
+            lp.add_constraint(&terms, Relation::Le, lhs + 0.25);
+        }
+        let sol = Simplex::default().solve(&lp);
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        prop_assert!(lp.is_feasible(&sol.values, 1e-6));
+        let seed_obj = lp.objective_value(&x0);
+        prop_assert!(sol.objective <= seed_obj + 1e-6,
+            "solver {} worse than seed {}", sol.objective, seed_obj);
+    }
+
+    /// Branch & bound on 0/1 knapsacks matches dynamic programming.
+    #[test]
+    fn milp_knapsack_matches_dp(items in knapsack_items(), cap in 1u32..60) {
+        let mut lp = LpProblem::maximize();
+        let vars: Vec<_> = items.iter().map(|&(p, _)| lp.add_binary(p as f64)).collect();
+        let terms: Vec<_> = vars.iter().zip(&items).map(|(&v, &(_, w))| (v, w as f64)).collect();
+        lp.add_constraint(&terms, Relation::Le, cap as f64);
+        let sol = BranchBound::new(MilpConfig::default()).solve(&lp, &vars);
+        prop_assert_eq!(sol.status, MilpStatus::Optimal);
+
+        // DP over weights.
+        let cap = cap as usize;
+        let mut dp = vec![0u32; cap + 1];
+        for &(p, w) in &items {
+            let w = w as usize;
+            for c in (w..=cap).rev() {
+                dp[c] = dp[c].max(dp[c - w] + p);
+            }
+        }
+        prop_assert!((sol.objective - dp[cap] as f64).abs() < 1e-6,
+            "bb {} vs dp {}", sol.objective, dp[cap]);
+        // Incumbent must be integral and feasible.
+        for &v in &vars {
+            let x = sol.values[v.index()];
+            prop_assert!((x - x.round()).abs() < 1e-6);
+        }
+        prop_assert!(lp.is_feasible(&sol.values, 1e-6));
+    }
+
+    /// Equality-constrained transportation-like LPs stay feasible.
+    #[test]
+    fn equality_lp_balances(supply in 1u32..20, frac in 0.0f64..1.0) {
+        // min x + 2y s.t. x + y = supply, x ≤ frac*supply
+        let s = supply as f64;
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var(0.0, f64::INFINITY, 1.0);
+        let y = lp.add_var(0.0, f64::INFINITY, 2.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, s);
+        let xcap = (frac * s).max(0.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, xcap);
+        let sol = Simplex::default().solve(&lp);
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        // optimum: x = xcap, y = s - xcap → obj = xcap + 2(s - xcap)
+        let expect = xcap + 2.0 * (s - xcap);
+        prop_assert!((sol.objective - expect).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn milp_matches_exhaustive_on_random_binary_programs() {
+    // Deterministic pseudo-random small BIPs, checked against 2^n enumeration.
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for trial in 0..25 {
+        let n = 2 + (next() % 7) as usize;
+        let m = 1 + (next() % 4) as usize;
+        let mut lp = LpProblem::maximize();
+        let obj: Vec<f64> = (0..n).map(|_| (next() % 19) as f64 - 9.0).collect();
+        let vars: Vec<_> = obj.iter().map(|&o| lp.add_binary(o)).collect();
+        let mut rows = Vec::new();
+        for _ in 0..m {
+            let coef: Vec<f64> = (0..n).map(|_| (next() % 11) as f64 - 5.0).collect();
+            let rhs = (next() % 13) as f64 - 3.0;
+            let terms: Vec<_> = vars.iter().zip(&coef).map(|(&v, &c)| (v, c)).collect();
+            lp.add_constraint(&terms, Relation::Le, rhs);
+            rows.push((coef, rhs));
+        }
+        // Exhaustive optimum.
+        let mut best: Option<f64> = None;
+        for mask in 0u32..(1 << n) {
+            let x: Vec<f64> = (0..n).map(|j| ((mask >> j) & 1) as f64).collect();
+            let ok = rows.iter().all(|(coef, rhs)| {
+                coef.iter().zip(&x).map(|(c, xi)| c * xi).sum::<f64>() <= rhs + 1e-9
+            });
+            if ok {
+                let v = obj.iter().zip(&x).map(|(o, xi)| o * xi).sum::<f64>();
+                best = Some(best.map_or(v, |b: f64| b.max(v)));
+            }
+        }
+        let sol = BranchBound::default().solve(&lp, &vars);
+        match best {
+            Some(b) => {
+                assert_eq!(sol.status, MilpStatus::Optimal, "trial {trial}");
+                assert!(
+                    (sol.objective - b).abs() < 1e-6,
+                    "trial {trial}: bb {} vs brute {b}",
+                    sol.objective
+                );
+            }
+            None => assert_eq!(sol.status, MilpStatus::Infeasible, "trial {trial}"),
+        }
+    }
+}

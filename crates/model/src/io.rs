@@ -1,0 +1,257 @@
+//! A small line-oriented text format for OSP instances.
+//!
+//! The format is self-contained (no serde / JSON dependency) and diff-
+//! friendly, so generated benchmark instances can be checked into a
+//! repository or shipped to other tools.
+//!
+//! ```text
+//! EBLOW-INSTANCE v1
+//! stencil <W> <H> <row_height|0>
+//! regions <P>
+//! chars <N>
+//! <w> <h> <bl> <br> <bb> <bt> <shots> <t_1> ... <t_P>     (N lines)
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored.
+//!
+//! # Example
+//!
+//! ```
+//! use eblow_model::{Character, Instance, Stencil};
+//! use eblow_model::io::{to_string, from_str};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let inst = Instance::new(
+//!     Stencil::with_rows(200, 80, 40)?,
+//!     vec![Character::new(40, 40, [5, 5, 5, 5], 10)?],
+//!     vec![vec![3, 4]],
+//! )?;
+//! let text = to_string(&inst);
+//! let back = from_str(&text)?;
+//! assert_eq!(inst, back);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{Character, Instance, ModelError, Stencil};
+use std::fmt::Write as _;
+
+const MAGIC: &str = "EBLOW-INSTANCE v1";
+
+/// Serializes an instance to the text format.
+pub fn to_string(instance: &Instance) -> String {
+    let mut out = String::new();
+    let s = instance.stencil();
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(
+        out,
+        "stencil {} {} {}",
+        s.width(),
+        s.height(),
+        s.row_height().unwrap_or(0)
+    );
+    let _ = writeln!(out, "regions {}", instance.num_regions());
+    let _ = writeln!(out, "chars {}", instance.num_chars());
+    for (i, c) in instance.chars().iter().enumerate() {
+        let b = c.blanks();
+        let _ = write!(
+            out,
+            "{} {} {} {} {} {} {}",
+            c.width(),
+            c.height(),
+            b.left,
+            b.right,
+            b.bottom,
+            b.top,
+            c.vsb_shots()
+        );
+        for &t in instance.repeat_row(i) {
+            let _ = write!(out, " {t}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> ModelError {
+    ModelError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_u64(tok: &str, line: usize, what: &str) -> Result<u64, ModelError> {
+    tok.parse::<u64>()
+        .map_err(|_| parse_err(line, format!("invalid {what}: {tok:?}")))
+}
+
+/// Parses an instance from the text format.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Parse`] with a 1-based line number on any syntax
+/// problem, and the underlying model error if the parsed data violates model
+/// invariants (e.g. blanks exceeding a character's size).
+pub fn from_str(text: &str) -> Result<Instance, ModelError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (ln, magic) = lines.next().ok_or_else(|| parse_err(1, "empty input"))?;
+    if magic != MAGIC {
+        return Err(parse_err(ln, format!("expected header {MAGIC:?}")));
+    }
+
+    let (ln, stencil_line) = lines
+        .next()
+        .ok_or_else(|| parse_err(ln, "missing stencil line"))?;
+    let toks: Vec<&str> = stencil_line.split_whitespace().collect();
+    if toks.len() != 4 || toks[0] != "stencil" {
+        return Err(parse_err(ln, "expected `stencil <W> <H> <row_height|0>`"));
+    }
+    let w = parse_u64(toks[1], ln, "stencil width")?;
+    let h = parse_u64(toks[2], ln, "stencil height")?;
+    let rh = parse_u64(toks[3], ln, "row height")?;
+    let stencil = if rh == 0 {
+        Stencil::new(w, h)?
+    } else {
+        Stencil::with_rows(w, h, rh)?
+    };
+
+    let (ln, regions_line) = lines
+        .next()
+        .ok_or_else(|| parse_err(ln, "missing regions line"))?;
+    let toks: Vec<&str> = regions_line.split_whitespace().collect();
+    if toks.len() != 2 || toks[0] != "regions" {
+        return Err(parse_err(ln, "expected `regions <P>`"));
+    }
+    let num_regions = parse_u64(toks[1], ln, "region count")? as usize;
+
+    let (ln, chars_line) = lines
+        .next()
+        .ok_or_else(|| parse_err(ln, "missing chars line"))?;
+    let toks: Vec<&str> = chars_line.split_whitespace().collect();
+    if toks.len() != 2 || toks[0] != "chars" {
+        return Err(parse_err(ln, "expected `chars <N>`"));
+    }
+    let num_chars = parse_u64(toks[1], ln, "char count")? as usize;
+
+    let mut chars = Vec::with_capacity(num_chars);
+    let mut repeats = Vec::with_capacity(num_chars);
+    let mut last_ln = ln;
+    for _ in 0..num_chars {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| parse_err(last_ln, "missing character line"))?;
+        last_ln = ln;
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() != 7 + num_regions {
+            return Err(parse_err(
+                ln,
+                format!(
+                    "expected {} fields (7 + {num_regions} repeats), found {}",
+                    7 + num_regions,
+                    toks.len()
+                ),
+            ));
+        }
+        let vals: Result<Vec<u64>, _> = toks
+            .iter()
+            .map(|t| parse_u64(t, ln, "character field"))
+            .collect();
+        let vals = vals?;
+        chars.push(Character::new(
+            vals[0],
+            vals[1],
+            [vals[2], vals[3], vals[4], vals[5]],
+            vals[6],
+        )?);
+        repeats.push(vals[7..].to_vec());
+    }
+    if let Some((ln, _)) = lines.next() {
+        return Err(parse_err(ln, "trailing content after character table"));
+    }
+    Instance::new(stencil, chars, repeats)
+}
+
+/// Writes an instance to a file at `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn write_file(instance: &Instance, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, to_string(instance))
+}
+
+/// Reads an instance from a file at `path`.
+///
+/// # Errors
+///
+/// Returns an I/O error or a boxed [`ModelError`] on parse failure.
+pub fn read_file(path: &std::path::Path) -> Result<Instance, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(from_str(&text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instance {
+        let chars = vec![
+            Character::new(40, 40, [5, 6, 4, 3], 10).unwrap(),
+            Character::new(33, 40, [1, 2, 3, 4], 7).unwrap(),
+        ];
+        Instance::new(
+            Stencil::with_rows(1000, 1000, 40).unwrap(),
+            chars,
+            vec![vec![3, 0, 9], vec![1, 5, 2]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_1d() {
+        let inst = sample();
+        assert_eq!(from_str(&to_string(&inst)).unwrap(), inst);
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        let chars = vec![Character::new(40, 30, [5, 6, 4, 3], 10).unwrap()];
+        let inst = Instance::new(Stencil::new(500, 600).unwrap(), chars, vec![vec![2]]).unwrap();
+        assert_eq!(from_str(&to_string(&inst)).unwrap(), inst);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let inst = sample();
+        let mut text = String::from("# generated\n\n");
+        text.push_str(&to_string(&inst));
+        assert_eq!(from_str(&text).unwrap(), inst);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = from_str("EBLOW-INSTANCE v1\nstencil 10 10\n").unwrap_err();
+        assert!(matches!(e, ModelError::Parse { line: 2, .. }), "{e}");
+        let e = from_str("nope").unwrap_err();
+        assert!(matches!(e, ModelError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn wrong_field_count_rejected() {
+        let text = "EBLOW-INSTANCE v1\nstencil 100 100 0\nregions 2\nchars 1\n40 40 5 5 5 5 10 1\n";
+        let e = from_str(text).unwrap_err();
+        assert!(matches!(e, ModelError::Parse { line: 5, .. }), "{e}");
+    }
+
+    #[test]
+    fn trailing_content_rejected() {
+        let mut text = to_string(&sample());
+        text.push_str("40 40 5 5 5 5 10 1 1 1\n");
+        assert!(from_str(&text).is_err());
+    }
+}

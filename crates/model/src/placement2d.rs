@@ -1,0 +1,237 @@
+use crate::{overlap, CharId, Instance, ModelError, Selection};
+
+/// A character placed at an absolute stencil position.
+///
+/// `(x, y)` is the lower-left corner of the character *outline* (blanks
+/// included). Coordinates are signed so that planners may hold intermediate
+/// out-of-outline states; a valid placement has all coordinates inside
+/// `[0, W] × [0, H]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlacedChar {
+    /// Which candidate is placed.
+    pub id: CharId,
+    /// Lower-left x of the outline, µm.
+    pub x: i64,
+    /// Lower-left y of the outline, µm.
+    pub y: i64,
+}
+
+/// A 2D stencil placement (2DOSP solution).
+///
+/// Overlap legality follows the disjunctive constraints (7b)–(7e) of the
+/// paper: two placed characters `i`, `j` are compatible iff at least one of
+///
+/// ```text
+/// x_i + w_i − o^h_ij ≤ x_j      (i fully left of j, shared blank allowed)
+/// x_j + w_j − o^h_ji ≤ x_i      (j fully left of i)
+/// y_i + h_i − o^v_ij ≤ y_j      (i fully below j)
+/// y_j + h_j − o^v_ji ≤ y_i      (j fully below i)
+/// ```
+///
+/// holds, where `o^h_ij = min(right_blank_i, left_blank_j)` and
+/// `o^v_ij = min(top_blank_i, bottom_blank_j)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Placement2d {
+    placed: Vec<PlacedChar>,
+}
+
+impl Placement2d {
+    /// An empty placement.
+    pub fn new() -> Self {
+        Placement2d::default()
+    }
+
+    /// Builds a placement from placed characters.
+    pub fn from_placed(placed: Vec<PlacedChar>) -> Self {
+        Placement2d { placed }
+    }
+
+    /// The placed characters, in insertion order.
+    #[inline]
+    pub fn placed(&self) -> &[PlacedChar] {
+        &self.placed
+    }
+
+    /// Number of placed characters.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.placed.len()
+    }
+
+    /// `true` if nothing is placed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.placed.is_empty()
+    }
+
+    /// Adds a placed character.
+    pub fn push(&mut self, pc: PlacedChar) {
+        self.placed.push(pc);
+    }
+
+    /// The selection induced by this placement.
+    pub fn selection(&self, num_chars: usize) -> Selection {
+        Selection::from_indices(num_chars, self.placed.iter().map(|p| p.id.index()))
+    }
+
+    /// Whether the pair `(a, b)` satisfies the disjunctive separation
+    /// constraints with blank sharing.
+    pub fn pair_compatible(instance: &Instance, a: &PlacedChar, b: &PlacedChar) -> bool {
+        let ca = instance.char(a.id.index());
+        let cb = instance.char(b.id.index());
+        let oh_ab = overlap::h_overlap(ca, cb) as i64;
+        let oh_ba = overlap::h_overlap(cb, ca) as i64;
+        let ov_ab = overlap::v_overlap(ca, cb) as i64;
+        let ov_ba = overlap::v_overlap(cb, ca) as i64;
+        a.x + ca.width() as i64 - oh_ab <= b.x
+            || b.x + cb.width() as i64 - oh_ba <= a.x
+            || a.y + ca.height() as i64 - ov_ab <= b.y
+            || b.y + cb.height() as i64 - ov_ba <= a.y
+    }
+
+    /// Validates the placement against the instance:
+    ///
+    /// * ids in range, no duplicates;
+    /// * every outline inside `[0, W] × [0, H]` (constraint (7f));
+    /// * every pair satisfies the disjunctive separation constraints.
+    ///
+    /// # Errors
+    ///
+    /// The first violation found is reported as a [`ModelError`]. The
+    /// pairwise check is `O(k²)` over placed characters.
+    pub fn validate(&self, instance: &Instance) -> Result<(), ModelError> {
+        let w = instance.stencil().width() as i64;
+        let h = instance.stencil().height() as i64;
+        let mut seen = vec![false; instance.num_chars()];
+        for p in &self.placed {
+            let i = p.id.index();
+            if i >= instance.num_chars() {
+                return Err(ModelError::UnknownChar {
+                    id: i,
+                    num_chars: instance.num_chars(),
+                });
+            }
+            if seen[i] {
+                return Err(ModelError::DuplicateChar { id: i });
+            }
+            seen[i] = true;
+            let c = instance.char(i);
+            if p.x < 0 || p.y < 0 || p.x + (c.width() as i64) > w || p.y + (c.height() as i64) > h
+            {
+                return Err(ModelError::OutsideOutline { id: i });
+            }
+        }
+        for (k, a) in self.placed.iter().enumerate() {
+            for b in &self.placed[k + 1..] {
+                if !Self::pair_compatible(instance, a, b) {
+                    return Err(ModelError::IllegalOverlap {
+                        a: a.id.index(),
+                        b: b.id.index(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// System writing time of the placement's induced selection.
+    pub fn total_writing_time(&self, instance: &Instance) -> u64 {
+        instance.total_writing_time(&self.selection(instance.num_chars()))
+    }
+
+    /// Bounding-box area actually used by the placement, µm².
+    pub fn used_bbox(&self, instance: &Instance) -> (u64, u64) {
+        let mut max_x = 0i64;
+        let mut max_y = 0i64;
+        for p in &self.placed {
+            let c = instance.char(p.id.index());
+            max_x = max_x.max(p.x + c.width() as i64);
+            max_y = max_y.max(p.y + c.height() as i64);
+        }
+        (max_x.max(0) as u64, max_y.max(0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Character, Stencil};
+
+    fn inst() -> Instance {
+        let chars = vec![
+            Character::new(40, 40, [5, 5, 5, 5], 10).unwrap(),
+            Character::new(40, 40, [5, 5, 5, 5], 10).unwrap(),
+            Character::new(30, 20, [2, 2, 2, 2], 10).unwrap(),
+        ];
+        let repeats = vec![vec![1]; 3];
+        Instance::new(Stencil::new(100, 100).unwrap(), chars, repeats).unwrap()
+    }
+
+    fn pc(id: usize, x: i64, y: i64) -> PlacedChar {
+        PlacedChar {
+            id: CharId(id as u32),
+            x,
+            y,
+        }
+    }
+
+    #[test]
+    fn adjacent_with_shared_blank_is_legal() {
+        let inst = inst();
+        // chars 0,1 both have blanks 5 → may overlap outlines by 5.
+        let p = Placement2d::from_placed(vec![pc(0, 0, 0), pc(1, 35, 0)]);
+        assert!(p.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn overlapping_past_shared_blank_is_illegal() {
+        let inst = inst();
+        let p = Placement2d::from_placed(vec![pc(0, 0, 0), pc(1, 34, 0)]);
+        assert!(matches!(
+            p.validate(&inst),
+            Err(ModelError::IllegalOverlap { a: 0, b: 1 })
+        ));
+    }
+
+    #[test]
+    fn vertical_sharing_is_legal() {
+        let inst = inst();
+        let p = Placement2d::from_placed(vec![pc(0, 0, 0), pc(1, 0, 35)]);
+        assert!(p.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn outline_enforced() {
+        let inst = inst();
+        let p = Placement2d::from_placed(vec![pc(0, 61, 0)]);
+        assert!(matches!(
+            p.validate(&inst),
+            Err(ModelError::OutsideOutline { id: 0 })
+        ));
+        let q = Placement2d::from_placed(vec![pc(0, -1, 0)]);
+        assert!(matches!(
+            q.validate(&inst),
+            Err(ModelError::OutsideOutline { id: 0 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_rejected_and_bbox_computed() {
+        let inst = inst();
+        let p = Placement2d::from_placed(vec![pc(0, 0, 0), pc(0, 50, 50)]);
+        assert!(matches!(
+            p.validate(&inst),
+            Err(ModelError::DuplicateChar { id: 0 })
+        ));
+        let q = Placement2d::from_placed(vec![pc(0, 0, 0), pc(2, 60, 60)]);
+        assert_eq!(q.used_bbox(&inst), (90, 80));
+        assert_eq!(q.selection(3).count(), 2);
+    }
+
+    #[test]
+    fn diagonal_placement_is_legal() {
+        let inst = inst();
+        let p = Placement2d::from_placed(vec![pc(0, 0, 0), pc(1, 36, 36)]);
+        assert!(p.validate(&inst).is_ok());
+    }
+}

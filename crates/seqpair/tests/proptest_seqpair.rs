@@ -1,0 +1,128 @@
+//! Property-based tests for sequence-pair packing: legality of every
+//! packing, relation/packing consistency, and move reversibility.
+
+use eblow_seqpair::{ItemGeometry, PairRelation, SequencePair};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Blocks {
+    dims: Vec<(i64, i64)>,
+    blanks: Vec<(i64, i64, i64, i64)>, // l, r, b, t
+}
+
+impl ItemGeometry for Blocks {
+    fn len(&self) -> usize {
+        self.dims.len()
+    }
+    fn width(&self, i: usize) -> i64 {
+        self.dims[i].0
+    }
+    fn height(&self, i: usize) -> i64 {
+        self.dims[i].1
+    }
+    fn h_overlap(&self, l: usize, r: usize) -> i64 {
+        self.blanks[l].1.min(self.blanks[r].0)
+    }
+    fn v_overlap(&self, b: usize, t: usize) -> i64 {
+        self.blanks[b].3.min(self.blanks[t].2)
+    }
+}
+
+fn blocks(n: usize) -> impl Strategy<Value = Blocks> {
+    (
+        prop::collection::vec((20i64..60, 20i64..60), n),
+        prop::collection::vec((0i64..10, 0i64..10, 0i64..10, 0i64..10), n),
+    )
+        .prop_map(|(dims, blanks)| Blocks { dims, blanks })
+}
+
+fn permutation(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    Just((0..n).collect::<Vec<usize>>()).prop_shuffle()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every packing satisfies the pairwise disjunctive separation
+    /// constraints, and the realized relation matches the sequence pair's.
+    #[test]
+    fn packing_is_legal_and_matches_relations(
+        items in blocks(6),
+        pos in permutation(6),
+        neg in permutation(6),
+    ) {
+        let sp = SequencePair::new(pos, neg);
+        let pack = sp.pack(&items);
+        for a in 0..6 {
+            prop_assert!(pack.xs[a] >= 0 && pack.ys[a] >= 0);
+            prop_assert!(pack.xs[a] + items.width(a) <= pack.width);
+            prop_assert!(pack.ys[a] + items.height(a) <= pack.height);
+            for b in (a + 1)..6 {
+                let sep = match sp.relation(a, b) {
+                    PairRelation::LeftOf =>
+                        pack.xs[a] + items.width(a) - items.h_overlap(a, b) <= pack.xs[b],
+                    PairRelation::RightOf =>
+                        pack.xs[b] + items.width(b) - items.h_overlap(b, a) <= pack.xs[a],
+                    PairRelation::Below =>
+                        pack.ys[a] + items.height(a) - items.v_overlap(a, b) <= pack.ys[b],
+                    PairRelation::Above =>
+                        pack.ys[b] + items.height(b) - items.v_overlap(b, a) <= pack.ys[a],
+                };
+                prop_assert!(sep, "relation {:?} violated for ({a},{b})", sp.relation(a, b));
+            }
+        }
+    }
+
+    /// Relations are antisymmetric: rel(a,b) is the mirror of rel(b,a).
+    #[test]
+    fn relations_antisymmetric(pos in permutation(5), neg in permutation(5)) {
+        let sp = SequencePair::new(pos, neg);
+        for a in 0..5 {
+            for b in 0..5 {
+                if a == b { continue; }
+                let expected = match sp.relation(a, b) {
+                    PairRelation::LeftOf => PairRelation::RightOf,
+                    PairRelation::RightOf => PairRelation::LeftOf,
+                    PairRelation::Below => PairRelation::Above,
+                    PairRelation::Above => PairRelation::Below,
+                };
+                prop_assert_eq!(sp.relation(b, a), expected);
+            }
+        }
+    }
+
+    /// Swap moves are involutions: applying twice restores the pair.
+    #[test]
+    fn swaps_are_involutions(
+        pos in permutation(7),
+        neg in permutation(7),
+        i in 0usize..7,
+        j in 0usize..7,
+    ) {
+        prop_assume!(i != j);
+        let original = SequencePair::new(pos, neg);
+        let mut sp = original.clone();
+        sp.swap_pos(i, j);
+        sp.swap_pos(i, j);
+        prop_assert_eq!(&sp, &original);
+        sp.swap_neg(i, j);
+        sp.swap_neg(i, j);
+        prop_assert_eq!(&sp, &original);
+        sp.swap_blocks(i, j);
+        sp.swap_blocks(i, j);
+        prop_assert_eq!(&sp, &original);
+    }
+
+    /// Zero overlaps give packings at least as wide as overlap-aware ones.
+    #[test]
+    fn sharing_never_hurts(items in blocks(5), pos in permutation(5), neg in permutation(5)) {
+        let sp = SequencePair::new(pos, neg);
+        let with = sp.pack(&items);
+        let without = sp.pack(&Blocks {
+            dims: items.dims.clone(),
+            blanks: vec![(0, 0, 0, 0); 5],
+        });
+        prop_assert!(with.width <= without.width);
+        prop_assert!(with.height <= without.height);
+    }
+}

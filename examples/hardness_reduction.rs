@@ -1,0 +1,71 @@
+//! The paper's NP-hardness chain, executed: a 3SAT formula is reduced to
+//! Bounded Subset Sum (appendix, Lemma 6), which is reduced to a
+//! single-row 1DOSP instance (Lemma 2) — and the E-BLOW planner then
+//! solves the planted instance to its certified optimum.
+//!
+//! ```sh
+//! cargo run --release --example hardness_reduction
+//! ```
+
+use eblow::hardness::{
+    brute_force_bss, brute_force_min_row, brute_force_sat, bss_to_osp, decode_assignment,
+    threesat_to_bss, Clause, Literal, ThreeSat,
+};
+use eblow::planner::oned::Eblow1d;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's running example (Eqn. 9): (y1 ∨ ¬y3 ∨ ¬y4) ∧ (¬y1 ∨ y2 ∨ ¬y4)
+    let sat = ThreeSat::new(
+        4,
+        vec![
+            Clause([Literal::pos(0), Literal::neg(2), Literal::neg(3)]),
+            Clause([Literal::neg(0), Literal::pos(1), Literal::neg(3)]),
+        ],
+    )?;
+    println!("3SAT: (y1 ∨ ¬y3 ∨ ¬y4) ∧ (¬y1 ∨ y2 ∨ ¬y4)");
+    let assignment = brute_force_sat(&sat).expect("the example is satisfiable");
+    println!("satisfying assignment: {assignment:?}");
+
+    // Step 1: 3SAT → BSS (the digit construction of Fig. 13).
+    let bss = threesat_to_bss(&sat);
+    println!(
+        "\nBSS instance: {} numbers of {} digits, target s = {}",
+        bss.numbers.len(),
+        bss.numbers[0].len(),
+        bss.target
+    );
+    let witness = brute_force_bss(&bss).expect("reduction preserves satisfiability");
+    println!("subset witness: {witness:?}");
+    let decoded = decode_assignment(&sat, &witness);
+    assert!(sat.eval(&decoded), "decoded assignment must satisfy the formula");
+    println!("decoded back to assignment: {decoded:?}");
+
+    // Step 2: BSS → 1DOSP (Lemma 2), on the paper's Fig. 3 numbers.
+    let osp = bss_to_osp(&[1100, 1200, 2000], 2300);
+    println!(
+        "\n1DOSP instance (Fig. 3): {} characters, single row of length M + s = {}",
+        osp.instance.num_chars(),
+        osp.instance.stencil().width()
+    );
+    let optimum = brute_force_min_row(&osp.instance);
+    println!(
+        "certified optimal writing time: {optimum} (reduction's yes-threshold: {})",
+        osp.yes_writing_time()
+    );
+    assert_eq!(
+        optimum,
+        osp.yes_writing_time(),
+        "the subset {{1100, 1200}} sums to 2300, so the instance is a yes-instance"
+    );
+
+    // And E-BLOW solves the planted instance to that optimum.
+    let plan = Eblow1d::default().plan(&osp.instance)?;
+    println!(
+        "E-BLOW on the planted instance: T = {} ({} characters placed)",
+        plan.total_time,
+        plan.selection.count()
+    );
+    assert_eq!(plan.total_time, optimum);
+    println!("\nNP-hardness chain verified end to end.");
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: plan a small 1D stencil and inspect the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use eblow::gen::GenConfig;
+use eblow::model::Selection;
+use eblow::planner::oned::Eblow1d;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small synthetic 1DOSP instance: 60 character candidates, 3 wafer
+    // regions, a 300×120 µm stencil with 40 µm rows.
+    let instance = eblow::gen::generate(&GenConfig::tiny_1d(42));
+    println!(
+        "instance: {} candidates, {} regions, {} rows of width {}",
+        instance.num_chars(),
+        instance.num_regions(),
+        instance.num_rows()?,
+        instance.stencil().width()
+    );
+
+    // Baseline: write everything with VSB (empty stencil).
+    let all_vsb = instance.total_writing_time(&Selection::none(instance.num_chars()));
+    println!("writing time with empty stencil: {all_vsb}");
+
+    // Run the full E-BLOW pipeline.
+    let plan = Eblow1d::default().plan(&instance)?;
+    plan.placement.validate(&instance)?;
+    println!(
+        "E-BLOW: {} characters on stencil, writing time {} ({:.1}% of VSB), {:?}",
+        plan.selection.count(),
+        plan.total_time,
+        100.0 * plan.total_time as f64 / all_vsb as f64,
+        plan.elapsed
+    );
+
+    // The per-region times show the MCC balancing at work.
+    println!("per-region writing times: {:?}", plan.region_times);
+
+    // The physical plan: rows of characters in left-to-right order.
+    for (r, row) in plan.placement.rows().iter().enumerate() {
+        if !row.is_empty() {
+            println!(
+                "row {r:2}: {:2} chars, width {:3}/{}",
+                row.len(),
+                row.min_width(&instance),
+                instance.stencil().width()
+            );
+        }
+    }
+    Ok(())
+}

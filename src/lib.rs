@@ -1,0 +1,41 @@
+//! **E-BLOW** — overlapping-aware stencil planning for MCC e-beam
+//! lithography systems (facade crate).
+//!
+//! This crate re-exports the whole workspace under one roof:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`model`] | characters, instances, placements, writing-time accounting |
+//! | [`planner`] | the E-BLOW 1D/2D pipelines, exact ILPs, baselines |
+//! | [`gen`] | the synthetic benchmark families of the paper's evaluation |
+//! | [`lp`] | simplex + branch-and-bound MILP substrate |
+//! | [`kdtree`], [`matching`], [`seqpair`], [`anneal`] | algorithmic substrates |
+//! | [`hardness`] | executable NP-hardness reductions (3SAT → BSS → 1DOSP) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use eblow::planner::oned::Eblow1d;
+//! use eblow::gen::GenConfig;
+//!
+//! let instance = eblow::gen::generate(&GenConfig::tiny_1d(42));
+//! let plan = Eblow1d::default().plan(&instance).unwrap();
+//! plan.placement.validate(&instance).unwrap();
+//! println!("writing time {}", plan.total_time);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and the `eblow-eval`
+//! binary for the full paper-table reproduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use eblow_anneal as anneal;
+pub use eblow_core as planner;
+pub use eblow_gen as gen;
+pub use eblow_hardness as hardness;
+pub use eblow_kdtree as kdtree;
+pub use eblow_lp as lp;
+pub use eblow_matching as matching;
+pub use eblow_model as model;
+pub use eblow_seqpair as seqpair;

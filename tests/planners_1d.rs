@@ -1,0 +1,105 @@
+//! Cross-crate integration tests for the 1D planners: every planner must
+//! produce placements the model validator accepts, and the quality order of
+//! the paper's Table 3 must hold in aggregate.
+
+use eblow::gen::{benchmark, generate, Family, GenConfig};
+use eblow::model::Selection;
+use eblow::planner::baselines::{greedy_1d, heuristic_1d, row_heuristic_1d};
+use eblow::planner::oned::{Eblow1d, Eblow1dConfig};
+
+fn seeds() -> impl Iterator<Item = u64> {
+    1..=6u64
+}
+
+#[test]
+fn every_planner_is_valid_on_random_instances() {
+    for seed in seeds() {
+        let inst = generate(&GenConfig::tiny_1d(seed));
+        let plans = vec![
+            ("greedy", greedy_1d(&inst).unwrap()),
+            ("heur24", heuristic_1d(&inst, &Default::default()).unwrap()),
+            ("row25", row_heuristic_1d(&inst).unwrap()),
+            ("eblow", Eblow1d::default().plan(&inst).unwrap()),
+        ];
+        for (name, plan) in plans {
+            plan.placement
+                .validate(&inst)
+                .unwrap_or_else(|e| panic!("{name} invalid on seed {seed}: {e}"));
+            // Reported totals must match the model's own accounting.
+            assert_eq!(
+                plan.total_time,
+                inst.total_writing_time(&plan.selection),
+                "{name} mis-reports writing time on seed {seed}"
+            );
+            assert_eq!(plan.selection.count(), plan.placement.num_placed());
+        }
+    }
+}
+
+#[test]
+fn eblow_beats_or_ties_every_baseline_in_aggregate() {
+    let mut eblow_total = 0u64;
+    let mut greedy_total = 0u64;
+    let mut heur_total = 0u64;
+    let mut row_total = 0u64;
+    for seed in seeds() {
+        let inst = generate(&GenConfig::tiny_1d(100 + seed));
+        eblow_total += Eblow1d::default().plan(&inst).unwrap().total_time;
+        greedy_total += greedy_1d(&inst).unwrap().total_time;
+        heur_total += heuristic_1d(&inst, &Default::default()).unwrap().total_time;
+        row_total += row_heuristic_1d(&inst).unwrap().total_time;
+    }
+    assert!(eblow_total <= greedy_total, "E-BLOW worse than greedy");
+    assert!(eblow_total <= heur_total, "E-BLOW worse than heur24");
+    assert!(eblow_total <= row_total, "E-BLOW worse than row25");
+}
+
+#[test]
+fn selection_always_improves_over_empty_stencil() {
+    for seed in seeds() {
+        let inst = generate(&GenConfig::tiny_1d(200 + seed));
+        let vsb = inst.total_writing_time(&Selection::none(inst.num_chars()));
+        let plan = Eblow1d::default().plan(&inst).unwrap();
+        assert!(plan.total_time <= vsb);
+    }
+}
+
+#[test]
+fn eblow1_improves_on_eblow0_in_aggregate() {
+    // Fig. 11's claim at integration scope.
+    let mut t0 = 0u64;
+    let mut t1 = 0u64;
+    for seed in seeds() {
+        let inst = generate(&GenConfig::tiny_1d(300 + seed));
+        t0 += Eblow1d::new(Eblow1dConfig::eblow0())
+            .plan(&inst)
+            .unwrap()
+            .total_time;
+        t1 += Eblow1d::new(Eblow1dConfig::eblow1())
+            .plan(&inst)
+            .unwrap()
+            .total_time;
+    }
+    assert!(t1 <= t0, "E-BLOW-1 ({t1}) must not lose to E-BLOW-0 ({t0})");
+}
+
+#[test]
+fn deterministic_replanning() {
+    let inst = generate(&GenConfig::tiny_1d(77));
+    let a = Eblow1d::default().plan(&inst).unwrap();
+    let b = Eblow1d::default().plan(&inst).unwrap();
+    assert_eq!(a.placement, b.placement);
+    assert_eq!(a.total_time, b.total_time);
+}
+
+#[test]
+fn paper_benchmark_shapes() {
+    // Smoke-run one real benchmark end to end (kept small: 1D-1).
+    let inst = benchmark(Family::D1(1));
+    let plan = Eblow1d::default().plan(&inst).unwrap();
+    plan.placement.validate(&inst).unwrap();
+    // The paper's 1D cases place the vast majority of the 1000 candidates.
+    assert!(plan.selection.count() > 600, "{}", plan.selection.count());
+    let trace = plan.trace.expect("trace");
+    assert!(trace.unsolved_per_iter.len() >= 2, "multi-iteration rounding");
+}

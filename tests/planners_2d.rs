@@ -1,0 +1,87 @@
+//! Cross-crate integration tests for the 2D planners.
+
+use eblow::gen::{generate, GenConfig};
+use eblow::planner::baselines::{greedy_2d, sa_2d};
+use eblow::planner::twod::{Eblow2d, Eblow2dConfig, PackEngine};
+
+#[test]
+fn all_2d_planners_are_valid() {
+    for seed in 1..=4u64 {
+        let inst = generate(&GenConfig::tiny_2d(seed));
+        let plans = vec![
+            ("greedy", greedy_2d(&inst).unwrap()),
+            ("sa24", sa_2d(&inst, &Default::default()).unwrap()),
+            ("eblow", Eblow2d::default().plan(&inst).unwrap()),
+        ];
+        for (name, plan) in plans {
+            plan.placement
+                .validate(&inst)
+                .unwrap_or_else(|e| panic!("{name} invalid on seed {seed}: {e}"));
+            assert_eq!(plan.total_time, inst.total_writing_time(&plan.selection));
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_validity_and_rough_quality() {
+    let inst = generate(&GenConfig::tiny_2d(9));
+    let sp = Eblow2d::new(Eblow2dConfig {
+        engine: PackEngine::SeqPair,
+        ..Default::default()
+    })
+    .plan(&inst)
+    .unwrap();
+    let sk = Eblow2d::new(Eblow2dConfig {
+        engine: PackEngine::Skyline,
+        ..Default::default()
+    })
+    .plan(&inst)
+    .unwrap();
+    sp.placement.validate(&inst).unwrap();
+    sk.placement.validate(&inst).unwrap();
+    // Engines are different heuristics; they should land in the same ballpark.
+    let (a, b) = (sp.total_time.max(1) as f64, sk.total_time.max(1) as f64);
+    assert!(a / b < 1.6 && b / a < 1.6, "engines diverge: {a} vs {b}");
+}
+
+#[test]
+fn eblow_2d_beats_greedy_in_aggregate() {
+    let mut eblow_total = 0u64;
+    let mut greedy_total = 0u64;
+    for seed in 10..=14u64 {
+        let inst = generate(&GenConfig::tiny_2d(seed));
+        eblow_total += Eblow2d::default().plan(&inst).unwrap().total_time;
+        greedy_total += greedy_2d(&inst).unwrap().total_time;
+    }
+    assert!(
+        eblow_total < greedy_total,
+        "E-BLOW 2D ({eblow_total}) must beat greedy ({greedy_total}) in aggregate"
+    );
+}
+
+#[test]
+fn clustering_ablation_remains_valid_and_sane() {
+    let inst = generate(&GenConfig::tiny_2d(21));
+    let clustered = Eblow2d::default().plan(&inst).unwrap();
+    let unclustered = Eblow2d::new(Eblow2dConfig {
+        clustering: false,
+        ..Default::default()
+    })
+    .plan(&inst)
+    .unwrap();
+    clustered.placement.validate(&inst).unwrap();
+    unclustered.placement.validate(&inst).unwrap();
+    let (a, b) = (
+        clustered.total_time.max(1) as f64,
+        unclustered.total_time.max(1) as f64,
+    );
+    assert!(a / b < 1.6 && b / a < 1.6, "ablation diverges: {a} vs {b}");
+}
+
+#[test]
+fn planner_runs_on_row_structured_instances_too() {
+    // A 1D instance is a legal 2D instance (rows ignored).
+    let inst = generate(&GenConfig::tiny_1d(5));
+    let plan = Eblow2d::default().plan(&inst).unwrap();
+    plan.placement.validate(&inst).unwrap();
+}
