@@ -46,6 +46,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A state that can be annealed.
 ///
@@ -155,6 +156,27 @@ impl Annealer {
     /// Runs the annealing loop on `state`. On return, `state` holds the
     /// **best** configuration encountered (not the last one visited).
     pub fn run<S: Anneal>(&self, state: &mut S) -> AnnealStats {
+        self.run_impl(state, None)
+    }
+
+    /// Like [`Annealer::run`], but polls `stop` (when present) between
+    /// proposals and exits early — restoring the best state found so far —
+    /// once it is raised. `None` behaves exactly like [`Annealer::run`],
+    /// so callers can thread an optional flag without branching.
+    ///
+    /// Cancellation keeps the engine's *anytime* contract: the state is
+    /// always left at the best configuration seen, so a cancelled run is a
+    /// valid (just less optimized) result. Determinism also holds: two runs
+    /// cancelled at the same proposal count produce identical states.
+    pub fn run_with_stop<S: Anneal>(
+        &self,
+        state: &mut S,
+        stop: Option<&AtomicBool>,
+    ) -> AnnealStats {
+        self.run_impl(state, stop)
+    }
+
+    fn run_impl<S: Anneal>(&self, state: &mut S, stop: Option<&AtomicBool>) -> AnnealStats {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut energy = state.energy();
         let mut stats = AnnealStats {
@@ -167,6 +189,11 @@ impl Annealer {
         let mut temp = self.schedule.t_start;
         while temp >= self.schedule.t_end {
             for _ in 0..self.schedule.moves_per_temp {
+                if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                    *state = best;
+                    stats.best_energy = state.energy();
+                    return stats;
+                }
                 let Some(mv) = state.propose(&mut rng) else {
                     *state = best;
                     stats.best_energy = state.energy();
@@ -290,5 +317,28 @@ mod tests {
     #[should_panic(expected = "alpha must be in (0,1)")]
     fn bad_alpha_panics() {
         Schedule::geometric(1.0, 1.5, 0.1, 1);
+    }
+
+    #[test]
+    fn pre_raised_stop_flag_returns_initial_state() {
+        let stop = AtomicBool::new(true);
+        let mut s = Quad(vec![9, -9]);
+        let stats = Annealer::new(Schedule::geometric(10.0, 0.9, 0.01, 100), 5)
+            .run_with_stop(&mut s, Some(&stop));
+        assert_eq!(stats.proposed, 0);
+        assert_eq!(stats.best_energy, stats.initial_energy);
+        assert_eq!(s.energy(), stats.best_energy);
+    }
+
+    #[test]
+    fn unraised_stop_flag_matches_plain_run() {
+        let stop = AtomicBool::new(false);
+        let mut a = Quad(vec![10, -8, 3, 7]);
+        let mut b = a.clone();
+        let schedule = Schedule::geometric(20.0, 0.9, 1e-3, 200);
+        let sa = Annealer::new(schedule, 7).run(&mut a);
+        let sb = Annealer::new(schedule, 7).run_with_stop(&mut b, Some(&stop));
+        assert_eq!(sa, sb);
+        assert_eq!(a.0, b.0);
     }
 }

@@ -33,6 +33,7 @@ fn bench_figs(c: &mut Criterion) {
                 black_box(&eligible),
                 rows,
                 &RoundingConfig::default(),
+                eblow_core::StopFlag::NEVER,
             )
             .trace
             .unsolved_per_iter

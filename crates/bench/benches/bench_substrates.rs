@@ -20,7 +20,9 @@ fn bench_substrates(c: &mut Criterion) {
     // Dense simplex on a 60-var / 40-row LP.
     let lp = {
         let mut lp = LpProblem::maximize();
-        let vars: Vec<_> = (0..60).map(|i| lp.add_var(0.0, 1.0, 1.0 + (i % 7) as f64)).collect();
+        let vars: Vec<_> = (0..60)
+            .map(|i| lp.add_var(0.0, 1.0, 1.0 + (i % 7) as f64))
+            .collect();
         for r in 0..40 {
             let terms: Vec<_> = vars
                 .iter()
@@ -65,7 +67,13 @@ fn bench_substrates(c: &mut Criterion) {
         .map(|i| {
             let f = i as f64;
             (
-                [30.0 + f % 25.0, 40.0, 2.0 + f % 9.0, 2.0 + f % 7.0, f % 911.0],
+                [
+                    30.0 + f % 25.0,
+                    40.0,
+                    2.0 + f % 9.0,
+                    2.0 + f % 7.0,
+                    f % 911.0,
+                ],
                 i,
             )
         })

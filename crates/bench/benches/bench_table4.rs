@@ -34,14 +34,24 @@ fn bench_table4(c: &mut Criterion) {
         b.iter(|| greedy_2d(black_box(&inst)).unwrap().total_time)
     });
     group.bench_function("2D-small/eblow-clustered", |b| {
-        b.iter(|| Eblow2d::default().plan(black_box(&inst)).unwrap().total_time)
+        b.iter(|| {
+            Eblow2d::default()
+                .plan(black_box(&inst))
+                .unwrap()
+                .total_time
+        })
     });
     group.bench_function("2D-small/eblow-unclustered", |b| {
         let cfg = Eblow2dConfig {
             clustering: false,
             ..Default::default()
         };
-        b.iter(|| Eblow2d::new(cfg.clone()).plan(black_box(&inst)).unwrap().total_time)
+        b.iter(|| {
+            Eblow2d::new(cfg.clone())
+                .plan(black_box(&inst))
+                .unwrap()
+                .total_time
+        })
     });
 
     // The clustering stage in isolation (Algorithm 4).

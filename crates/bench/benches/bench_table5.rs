@@ -18,7 +18,12 @@ fn bench_table5(c: &mut Criterion) {
     for k in [1u8, 5] {
         let inst = benchmark(Family::T1(k));
         group.bench_function(format!("1T-{k}/eblow"), |b| {
-            b.iter(|| Eblow1d::default().plan(black_box(&inst)).unwrap().total_time)
+            b.iter(|| {
+                Eblow1d::default()
+                    .plan(black_box(&inst))
+                    .unwrap()
+                    .total_time
+            })
         });
         group.bench_function(format!("1T-{k}/brute-force-oracle"), |b| {
             b.iter(|| eblow_hardness::brute_force_min_row(black_box(&inst)))

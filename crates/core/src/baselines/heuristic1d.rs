@@ -13,6 +13,7 @@
 //! magnitude slower than E-BLOW's closed-form refinement, mirroring the
 //! ~22× runtime gap Table 3 reports.
 
+use crate::cancel::StopFlag;
 use crate::oned::finish_plan;
 use crate::profit::static_profits;
 use crate::Plan1d;
@@ -47,6 +48,18 @@ impl Default for Heuristic1dConfig {
 ///
 /// Returns [`ModelError::NotRowStructured`] for 2D instances.
 pub fn heuristic_1d(instance: &Instance, config: &Heuristic1dConfig) -> Result<Plan1d, ModelError> {
+    heuristic_1d_with_stop(instance, config, StopFlag::NEVER)
+}
+
+/// Like [`heuristic_1d`], but polls `stop` around the expensive per-row
+/// ordering solves (the 2-opt sweeps that dominate this framework's cost).
+/// A cancelled run keeps the already-ordered rows and falls back to the
+/// blank-descending order for the rest; the result still validates.
+pub fn heuristic_1d_with_stop(
+    instance: &Instance,
+    config: &Heuristic1dConfig,
+    stop: StopFlag<'_>,
+) -> Result<Plan1d, ModelError> {
     let started = Instant::now();
     let num_rows = instance.num_rows()?;
     let row_height = instance
@@ -85,9 +98,7 @@ pub fn heuristic_1d(instance: &Instance, config: &Heuristic1dConfig) -> Result<P
         let c = instance.char(i);
         let eff = c.effective_width();
         let s = c.symmetric_blank();
-        if let Some(r) = (0..num_rows)
-            .find(|&r| row_eff[r] + eff + row_blank[r].max(s) <= w)
-        {
+        if let Some(r) = (0..num_rows).find(|&r| row_eff[r] + eff + row_blank[r].max(s) <= w) {
             row_sets[r].push(CharId::from(i));
             row_eff[r] += eff;
             row_blank[r] = row_blank[r].max(s);
@@ -97,11 +108,20 @@ pub fn heuristic_1d(instance: &Instance, config: &Heuristic1dConfig) -> Result<P
     // ---- step 2: per-row ordering (NN chain + 2-opt sweeps) -------------
     let mut rows: Vec<Row> = Vec::with_capacity(num_rows);
     for set in &row_sets {
+        if stop.is_set() {
+            // Cancelled: blank-descending is Lemma-1 optimal for symmetric
+            // blanks and a sound cheap fallback in general.
+            let mut order = set.clone();
+            order.sort_by_key(|id| std::cmp::Reverse(instance.char(id.index()).symmetric_blank()));
+            rows.push(Row::from_order(order));
+            continue;
+        }
         rows.push(Row::from_order(order_row(
             instance,
             set,
             config.two_opt_sweeps,
             config.restarts,
+            stop,
         )));
     }
 
@@ -180,7 +200,13 @@ pub fn heuristic_1d(instance: &Instance, config: &Heuristic1dConfig) -> Result<P
 /// different character, runs nearest-neighbour construction, and polishes
 /// with repeated `O(k³)` 2-opt sweeps — the expensive per-row solve the
 /// paper contrasts E-BLOW's `O(n)` refinement against.
-fn order_row(instance: &Instance, set: &[CharId], sweeps: usize, restarts: usize) -> Vec<CharId> {
+fn order_row(
+    instance: &Instance,
+    set: &[CharId],
+    sweeps: usize,
+    restarts: usize,
+    stop: StopFlag<'_>,
+) -> Vec<CharId> {
     let k = set.len();
     if k <= 1 {
         return set.to_vec();
@@ -190,9 +216,7 @@ fn order_row(instance: &Instance, set: &[CharId], sweeps: usize, restarts: usize
         overlap::row_width_ordered(&chars)
     };
     let mut sorted: Vec<CharId> = set.to_vec();
-    sorted.sort_by_key(|id| {
-        std::cmp::Reverse(instance.char(id.index()).symmetric_blank())
-    });
+    sorted.sort_by_key(|id| std::cmp::Reverse(instance.char(id.index()).symmetric_blank()));
     let mut best_chain: Option<(u64, Vec<CharId>)> = None;
     for r in 0..restarts.max(1) {
         let mut remaining = sorted.clone();
@@ -208,6 +232,9 @@ fn order_row(instance: &Instance, set: &[CharId], sweeps: usize, restarts: usize
         }
         let mut best_w = width(&chain);
         for _ in 0..sweeps {
+            if stop.is_set() {
+                break;
+            }
             let mut improved = false;
             for a in 0..k - 1 {
                 for b in a + 1..k {
@@ -225,8 +252,11 @@ fn order_row(instance: &Instance, set: &[CharId], sweeps: usize, restarts: usize
                 break;
             }
         }
-        if best_chain.as_ref().map_or(true, |(bw, _)| best_w < *bw) {
+        if best_chain.as_ref().is_none_or(|(bw, _)| best_w < *bw) {
             best_chain = Some((best_w, chain));
+        }
+        if stop.is_set() {
+            break;
         }
     }
     best_chain.expect("at least one restart").1
@@ -249,12 +279,10 @@ mod tests {
     fn ordering_beats_arbitrary_order() {
         let inst = eblow_gen::generate(&GenConfig::tiny_1d(32));
         let ids: Vec<CharId> = (0..8).map(CharId::from).collect();
-        let ordered = order_row(&inst, &ids, 16, 4);
+        let ordered = order_row(&inst, &ids, 16, 4, StopFlag::NEVER);
         let chars_ord: Vec<_> = ordered.iter().map(|id| inst.char(id.index())).collect();
         let chars_raw: Vec<_> = ids.iter().map(|id| inst.char(id.index())).collect();
-        assert!(
-            overlap::row_width_ordered(&chars_ord) <= overlap::row_width_ordered(&chars_raw)
-        );
+        assert!(overlap::row_width_ordered(&chars_ord) <= overlap::row_width_ordered(&chars_raw));
     }
 
     #[test]

@@ -26,6 +26,6 @@ mod sa2d;
 
 pub use greedy1d::greedy_1d;
 pub use greedy2d::greedy_2d;
-pub use heuristic1d::{heuristic_1d, Heuristic1dConfig};
+pub use heuristic1d::{heuristic_1d, heuristic_1d_with_stop, Heuristic1dConfig};
 pub use rowheur::row_heuristic_1d;
-pub use sa2d::{sa_2d, Sa2dConfig};
+pub use sa2d::{sa_2d, sa_2d_with_stop, Sa2dConfig};

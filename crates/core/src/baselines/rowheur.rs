@@ -124,7 +124,7 @@ pub fn row_heuristic_1d(instance: &Instance) -> Result<Plan1d, ModelError> {
             let mut best: Option<(u64, usize)> = None;
             for pos in 0..=row.len() {
                 let delta = row.insertion_delta(instance, pos, id);
-                if wid + delta <= w && best.map_or(true, |(bd, _)| delta < bd) {
+                if wid + delta <= w && best.is_none_or(|(bd, _)| delta < bd) {
                     best = Some((delta, pos));
                 }
             }

@@ -1,6 +1,7 @@
 //! The floorplanning framework of \[24\] for 2DOSP: simulated-annealing
 //! packing of **every** candidate, with no pre-filter and no clustering.
 
+use crate::cancel::StopFlag;
 use crate::twod::{Eblow2d, Eblow2dConfig, PackEngine};
 use crate::Plan2d;
 use eblow_model::{Instance, ModelError};
@@ -37,6 +38,16 @@ impl Default for Sa2dConfig {
 ///
 /// Never fails today; the `Result` mirrors the other planners' APIs.
 pub fn sa_2d(instance: &Instance, config: &Sa2dConfig) -> Result<Plan2d, ModelError> {
+    sa_2d_with_stop(instance, config, StopFlag::NEVER)
+}
+
+/// Like [`sa_2d`], but polls `stop` inside the SA loop (the dominant cost
+/// of this baseline) and returns the best incumbent packing on cancellation.
+pub fn sa_2d_with_stop(
+    instance: &Instance,
+    config: &Sa2dConfig,
+    stop: StopFlag<'_>,
+) -> Result<Plan2d, ModelError> {
     let planner = Eblow2d::new(Eblow2dConfig {
         prefilter_factor: f64::MAX, // keep everything
         clustering: false,
@@ -46,7 +57,7 @@ pub fn sa_2d(instance: &Instance, config: &Sa2dConfig) -> Result<Plan2d, ModelEr
         sum_objective: true, // [24] optimizes total, not maximal, time
         ..Default::default()
     });
-    planner.plan(instance)
+    planner.plan_with_stop(instance, stop)
 }
 
 #[cfg(test)]

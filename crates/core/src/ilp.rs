@@ -161,27 +161,30 @@ pub fn solve_ilp_1d(instance: &Instance, time_limit: Duration) -> Result<IlpOutc
     let binary_vars = integers.len();
 
     // Warm start: seed with an E-BLOW plan mapped into (3)'s variables.
-    let seed = crate::oned::Eblow1d::default().plan(instance).ok().map(|plan| {
-        let mut v = vec![0.0f64; lp.num_vars()];
-        let mut xs = vec![0.0f64; n];
-        for (k, row) in plan.placement.rows().iter().enumerate() {
-            for (pos, id) in row.order().iter().enumerate() {
-                v[a[id.index()][k].index()] = 1.0;
-                xs[id.index()] = row.packed_positions(instance)[pos] as f64;
+    let seed = crate::oned::Eblow1d::default()
+        .plan(instance)
+        .ok()
+        .map(|plan| {
+            let mut v = vec![0.0f64; lp.num_vars()];
+            let mut xs = vec![0.0f64; n];
+            for (k, row) in plan.placement.rows().iter().enumerate() {
+                for (pos, id) in row.order().iter().enumerate() {
+                    v[a[id.index()][k].index()] = 1.0;
+                    xs[id.index()] = row.packed_positions(instance)[pos] as f64;
+                }
             }
-        }
-        for i in 0..n {
-            v[x[i].index()] = xs[i];
-        }
-        for i in 0..n {
-            for j in (i + 1)..n {
-                // p_ij = 1 ⇔ i right of j; order by packed x positions.
-                v[p[i][j].unwrap().index()] = if xs[i] <= xs[j] { 0.0 } else { 1.0 };
+            for i in 0..n {
+                v[x[i].index()] = xs[i];
             }
-        }
-        v[t_total.index()] = plan.total_time as f64;
-        v
-    });
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    // p_ij = 1 ⇔ i right of j; order by packed x positions.
+                    v[p[i][j].unwrap().index()] = if xs[i] <= xs[j] { 0.0 } else { 1.0 };
+                }
+            }
+            v[t_total.index()] = plan.total_time as f64;
+            v
+        });
 
     let sol = BranchBound::new(MilpConfig {
         time_limit,
@@ -355,48 +358,51 @@ pub fn solve_ilp_2d(instance: &Instance, time_limit: Duration) -> IlpOutcome {
     let binary_vars = integers.len();
 
     // Warm start from an E-BLOW 2D plan mapped into (7)'s variables.
-    let seed = crate::twod::Eblow2d::default().plan(instance).ok().map(|plan| {
-        let mut v = vec![0.0f64; lp.num_vars()];
-        let mut pos: Vec<Option<(i64, i64)>> = vec![None; n];
-        for pc in plan.placement.placed() {
-            pos[pc.id.index()] = Some((pc.x, pc.y));
-            v[a[pc.id.index()].index()] = 1.0;
-            v[x[pc.id.index()].index()] = pc.x as f64;
-            v[y[pc.id.index()].index()] = pc.y as f64;
-        }
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let (pij, qij) = pq[i][j].unwrap();
-                // Choose (p, q) activating a satisfied separation:
-                // (0,0)→i left, (0,1)→j left, (1,0)→i below, (1,1)→i above.
-                let (pv, qv) = match (pos[i], pos[j]) {
-                    (Some((xi, yi)), Some((xj, yj))) => {
-                        let ci = instance.char(i);
-                        let cj = instance.char(j);
-                        let wij = overlap::paired_width(ci, cj) as i64;
-                        let wji = overlap::paired_width(cj, ci) as i64;
-                        let hij = (ci.height() - overlap::v_overlap(ci, cj)) as i64;
-                        let hji = (cj.height() - overlap::v_overlap(cj, ci)) as i64;
-                        if xi + wij <= xj {
-                            (0.0, 0.0)
-                        } else if xj + wji <= xi {
-                            (0.0, 1.0)
-                        } else if yi + hij <= yj {
-                            (1.0, 0.0)
-                        } else {
-                            debug_assert!(yj + hji <= yi, "plan must be legal");
-                            (1.0, 1.0)
-                        }
-                    }
-                    _ => (0.0, 0.0),
-                };
-                v[pij.index()] = pv;
-                v[qij.index()] = qv;
+    let seed = crate::twod::Eblow2d::default()
+        .plan(instance)
+        .ok()
+        .map(|plan| {
+            let mut v = vec![0.0f64; lp.num_vars()];
+            let mut pos: Vec<Option<(i64, i64)>> = vec![None; n];
+            for pc in plan.placement.placed() {
+                pos[pc.id.index()] = Some((pc.x, pc.y));
+                v[a[pc.id.index()].index()] = 1.0;
+                v[x[pc.id.index()].index()] = pc.x as f64;
+                v[y[pc.id.index()].index()] = pc.y as f64;
             }
-        }
-        v[t_total.index()] = plan.total_time as f64;
-        v
-    });
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let (pij, qij) = pq[i][j].unwrap();
+                    // Choose (p, q) activating a satisfied separation:
+                    // (0,0)→i left, (0,1)→j left, (1,0)→i below, (1,1)→i above.
+                    let (pv, qv) = match (pos[i], pos[j]) {
+                        (Some((xi, yi)), Some((xj, yj))) => {
+                            let ci = instance.char(i);
+                            let cj = instance.char(j);
+                            let wij = overlap::paired_width(ci, cj) as i64;
+                            let wji = overlap::paired_width(cj, ci) as i64;
+                            let hij = (ci.height() - overlap::v_overlap(ci, cj)) as i64;
+                            let hji = (cj.height() - overlap::v_overlap(cj, ci)) as i64;
+                            if xi + wij <= xj {
+                                (0.0, 0.0)
+                            } else if xj + wji <= xi {
+                                (0.0, 1.0)
+                            } else if yi + hij <= yj {
+                                (1.0, 0.0)
+                            } else {
+                                debug_assert!(yj + hji <= yi, "plan must be legal");
+                                (1.0, 1.0)
+                            }
+                        }
+                        _ => (0.0, 0.0),
+                    };
+                    v[pij.index()] = pv;
+                    v[qij.index()] = qv;
+                }
+            }
+            v[t_total.index()] = plan.total_time as f64;
+            v
+        });
 
     let sol = BranchBound::new(MilpConfig {
         time_limit,
@@ -472,8 +478,7 @@ mod tests {
     #[test]
     fn ilp_1d_rejects_2d_instance() {
         let chars = vec![Character::new(10, 10, [1, 1, 1, 1], 2).unwrap()];
-        let inst =
-            Instance::new(Stencil::new(50, 50).unwrap(), chars, vec![vec![1]]).unwrap();
+        let inst = Instance::new(Stencil::new(50, 50).unwrap(), chars, vec![vec![1]]).unwrap();
         assert!(solve_ilp_1d(&inst, Duration::from_secs(1)).is_err());
     }
 
@@ -485,12 +490,8 @@ mod tests {
             Character::new(40, 40, [10, 10, 10, 10], 10).unwrap(),
             Character::new(40, 40, [10, 10, 10, 10], 9).unwrap(),
         ];
-        let inst = Instance::new(
-            Stencil::new(70, 70).unwrap(),
-            chars,
-            vec![vec![1], vec![1]],
-        )
-        .unwrap();
+        let inst =
+            Instance::new(Stencil::new(70, 70).unwrap(), chars, vec![vec![1], vec![1]]).unwrap();
         let out = solve_ilp_2d(&inst, Duration::from_secs(60));
         assert_eq!(out.status, MilpStatus::Optimal);
         // T_VSB = 19; both selected → 19 − 9 − 8 = 2.
@@ -507,12 +508,8 @@ mod tests {
             Character::new(40, 40, [10, 10, 10, 10], 10).unwrap(),
             Character::new(40, 40, [10, 10, 10, 10], 9).unwrap(),
         ];
-        let inst = Instance::new(
-            Stencil::new(69, 69).unwrap(),
-            chars,
-            vec![vec![1], vec![1]],
-        )
-        .unwrap();
+        let inst =
+            Instance::new(Stencil::new(69, 69).unwrap(), chars, vec![vec![1], vec![1]]).unwrap();
         let out = solve_ilp_2d(&inst, Duration::from_secs(60));
         assert_eq!(out.status, MilpStatus::Optimal);
         // Only the higher-saving char selected: 19 − 9 = 10.

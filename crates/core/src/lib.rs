@@ -35,10 +35,13 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod cancel;
 pub mod ilp;
 pub mod oned;
 pub mod profit;
 pub mod twod;
+
+pub use cancel::StopFlag;
 
 use std::time::Duration;
 

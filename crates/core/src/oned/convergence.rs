@@ -10,6 +10,7 @@
 
 use super::mkp_lp::{MkpItem, MkpLpSolution};
 use super::rounding::RowState;
+use crate::cancel::StopFlag;
 use crate::profit::RegionTimes;
 use eblow_lp::{BranchBound, LpProblem, MilpConfig, Relation};
 use eblow_model::{CharId, Instance};
@@ -54,6 +55,10 @@ pub struct ConvergenceStats {
 /// Runs Algorithm 2: threshold-commit, then a residual ILP over the
 /// middle-band variables. Mutates `rows` and `region_times` in place and
 /// returns the set of characters that remain unplaced plus statistics.
+///
+/// When `stop` is raised the (cheap) threshold pass still runs, but the
+/// residual branch-and-bound is skipped — its candidates go back to the
+/// unplaced pool, exactly as if the ILP had found nothing in time.
 pub fn fast_ilp_convergence(
     instance: &Instance,
     rows: &mut [RowState],
@@ -61,6 +66,7 @@ pub fn fast_ilp_convergence(
     items: &[MkpItem],
     lp: &MkpLpSolution,
     config: &ConvergenceConfig,
+    stop: StopFlag<'_>,
 ) -> (Vec<usize>, ConvergenceStats) {
     let w = instance.stencil().width();
     let mut stats = ConvergenceStats::default();
@@ -100,9 +106,11 @@ pub fn fast_ilp_convergence(
     }
     pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
     pairs.truncate(config.max_vars);
-    stats.ilp_vars = pairs.len();
 
-    if !pairs.is_empty() {
+    if !pairs.is_empty() && !stop.is_set() {
+        // Only count variables the residual ILP actually received — a
+        // cancelled run formulates and solves nothing.
+        stats.ilp_vars = pairs.len();
         // Residual formulation (4): binaries a_kj, continuous B_j.
         let mut milp = LpProblem::maximize();
         let involved_rows: Vec<usize> = {
@@ -236,8 +244,15 @@ mod tests {
         let items = items_for(&inst, &rt);
         let bases: Vec<RowBase> = rows.iter().map(RowState::base).collect();
         let lp = solve_mkp_lp(&items, &bases, 100);
-        let (leftover, stats) =
-            fast_ilp_convergence(&inst, &mut rows, &mut rt, &items, &lp, &Default::default());
+        let (leftover, stats) = fast_ilp_convergence(
+            &inst,
+            &mut rows,
+            &mut rt,
+            &items,
+            &lp,
+            &Default::default(),
+            StopFlag::NEVER,
+        );
         let placed: usize = rows.iter().map(|r| r.members.len()).sum();
         assert_eq!(placed + leftover.len(), 8);
         assert!(placed >= 4, "2×100 capacity fits ≥4 items of eff 26");
@@ -273,8 +288,15 @@ mod tests {
             .collect();
         let bases: Vec<RowBase> = rows.iter().map(RowState::base).collect();
         let lp = solve_mkp_lp(&items, &bases, 100);
-        let (_, _) =
-            fast_ilp_convergence(&inst, &mut rows, &mut rt, &items, &lp, &Default::default());
+        let (_, _) = fast_ilp_convergence(
+            &inst,
+            &mut rows,
+            &mut rt,
+            &items,
+            &lp,
+            &Default::default(),
+            StopFlag::NEVER,
+        );
         // Row must stay within the stencil under the true DP width.
         let (_, width) = crate::oned::refine_row(&inst, &rows[0].members, 20);
         assert!(width <= 100);
@@ -289,8 +311,15 @@ mod tests {
         let mut rt = RegionTimes::new(&inst);
         let items: Vec<MkpItem> = Vec::new();
         let lp = solve_mkp_lp(&items, &[RowBase::default(), RowBase::default()], 100);
-        let (leftover, stats) =
-            fast_ilp_convergence(&inst, &mut rows, &mut rt, &items, &lp, &Default::default());
+        let (leftover, stats) = fast_ilp_convergence(
+            &inst,
+            &mut rows,
+            &mut rt,
+            &items,
+            &lp,
+            &Default::default(),
+            StopFlag::NEVER,
+        );
         assert!(leftover.is_empty());
         assert_eq!(stats.ilp_vars, 0);
     }

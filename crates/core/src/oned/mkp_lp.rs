@@ -277,12 +277,19 @@ mod tests {
     fn solution_is_lp_feasible() {
         // Σ_j a_ij ≤ 1, row capacities respected with final blanks.
         let items: Vec<MkpItem> = (0..40)
-            .map(|i| item(i, 10 + (i as u64 * 7) % 30, 2 + (i as u64) % 9, 1.0 + i as f64))
+            .map(|i| {
+                item(
+                    i,
+                    10 + (i as u64 * 7) % 30,
+                    2 + (i as u64) % 9,
+                    1.0 + i as f64,
+                )
+            })
             .collect();
         let base = vec![RowBase::default(); 3];
         let w = 120u64;
         let sol = solve_mkp_lp(&items, &base, w);
-        let mut row_load = vec![0.0f64; 3];
+        let mut row_load = [0.0f64; 3];
         for (k, fr) in sol.fracs.iter().enumerate() {
             let total: f64 = fr.iter().map(|&(_, f)| f).sum();
             assert!(total <= 1.0 + 1e-9);

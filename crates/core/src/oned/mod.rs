@@ -23,6 +23,7 @@ pub use post::{post_insert, post_swap, PostConfig};
 pub use refine::{brute_force_min_width, refine_row};
 pub use rounding::{successive_rounding, RoundingConfig, RoundingOutcome, RoundingTrace, RowState};
 
+use crate::cancel::StopFlag;
 use crate::Plan1d;
 use eblow_model::{Instance, ModelError, Placement1d, Row, Selection};
 use std::time::Instant;
@@ -106,6 +107,18 @@ impl Eblow1d {
     /// Returns [`ModelError::NotRowStructured`] for 2D instances. The
     /// returned placement always validates against the instance.
     pub fn plan(&self, instance: &Instance) -> Result<Plan1d, ModelError> {
+        self.plan_with_stop(instance, StopFlag::NEVER)
+    }
+
+    /// Like [`Eblow1d::plan`], but polls `stop` at stage and iteration
+    /// boundaries. A cancelled run skips remaining optimization (later LP
+    /// rounds, the residual ILP, the post stages) and finishes the plan from
+    /// whatever was committed — the result still validates.
+    pub fn plan_with_stop(
+        &self,
+        instance: &Instance,
+        stop: StopFlag<'_>,
+    ) -> Result<Plan1d, ModelError> {
         let started = Instant::now();
         let num_rows = instance.num_rows()?;
         let row_height = instance
@@ -124,10 +137,10 @@ impl Eblow1d {
 
         // Stage 1+2: simplified LP + successive rounding (Algorithm 1).
         let mut outcome =
-            successive_rounding(instance, &eligible, num_rows, &self.config.rounding);
+            successive_rounding(instance, &eligible, num_rows, &self.config.rounding, stop);
 
         // Stage 3: fast ILP convergence (Algorithm 2), E-BLOW-1 only.
-        if self.config.fast_ilp {
+        if self.config.fast_ilp && !stop.is_set() {
             if let Some(lp) = outcome.last_lp.take() {
                 let items = std::mem::take(&mut outcome.last_items);
                 let (_leftover, _stats) = fast_ilp_convergence(
@@ -137,6 +150,7 @@ impl Eblow1d {
                     &items,
                     &lp,
                     &self.config.convergence,
+                    stop,
                 );
             }
         }
@@ -173,8 +187,9 @@ impl Eblow1d {
         let mut placement = Placement1d::from_rows(rows);
         let mut selection = placement.selection(instance.num_chars());
 
-        // Stage 5: post-swap.
-        if self.config.post_swap {
+        // Stage 5: post-swap (skipped when cancelled — the plan is already
+        // valid at this point, the post stages only improve it).
+        if self.config.post_swap && !stop.is_set() {
             post_swap(
                 instance,
                 &mut placement,
@@ -185,7 +200,7 @@ impl Eblow1d {
         }
 
         // Stage 6: post-insertion.
-        if self.config.post_insertion {
+        if self.config.post_insertion && !stop.is_set() {
             post_insert(
                 instance,
                 &mut placement,
@@ -245,10 +260,7 @@ mod tests {
         let vsb = inst.total_writing_time(&Selection::none(inst.num_chars()));
         assert!(plan.total_time < vsb, "{} !< {vsb}", plan.total_time);
         assert_eq!(plan.selection.count(), plan.placement.num_placed());
-        assert_eq!(
-            plan.total_time,
-            inst.total_writing_time(&plan.selection)
-        );
+        assert_eq!(plan.total_time, inst.total_writing_time(&plan.selection));
     }
 
     #[test]
@@ -282,10 +294,22 @@ mod tests {
         let plan = Eblow1d::default().plan(&inst).unwrap();
         let trace = plan.trace.expect("E-BLOW produces a trace");
         assert!(!trace.unsolved_per_iter.is_empty());
-        assert!(trace
-            .unsolved_per_iter
-            .windows(2)
-            .all(|w| w[1] <= w[0]));
+        assert!(trace.unsolved_per_iter.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn pre_cancelled_plan_is_still_valid() {
+        use std::sync::atomic::AtomicBool;
+        let inst = eblow_gen::generate(&GenConfig::tiny_1d(5));
+        let stop = AtomicBool::new(true);
+        let plan = Eblow1d::default()
+            .plan_with_stop(&inst, StopFlag::new(&stop))
+            .unwrap();
+        plan.placement.validate(&inst).unwrap();
+        assert_eq!(plan.total_time, inst.total_writing_time(&plan.selection));
+        // A cancelled run can never beat the uncancelled one.
+        let full = Eblow1d::default().plan(&inst).unwrap();
+        assert!(plan.total_time >= full.total_time);
     }
 
     #[test]

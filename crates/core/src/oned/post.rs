@@ -51,9 +51,7 @@ fn width_with_replacement(
         .order()
         .iter()
         .enumerate()
-        .map(|(k, id)| {
-            instance.char(if k == pos { new_id.index() } else { id.index() })
-        })
+        .map(|(k, id)| instance.char(if k == pos { new_id.index() } else { id.index() }))
         .collect();
     eblow_model::overlap::row_width_ordered(&chars)
 }
@@ -98,14 +96,8 @@ pub fn post_swap(
                 }
             }
             placed.sort_by(|&(ra, pa), &(rb, pb)| {
-                let va = region_times.profit(
-                    instance,
-                    placement.rows()[ra].order()[pa].index(),
-                );
-                let vb = region_times.profit(
-                    instance,
-                    placement.rows()[rb].order()[pb].index(),
-                );
+                let va = region_times.profit(instance, placement.rows()[ra].order()[pa].index());
+                let vb = region_times.profit(instance, placement.rows()[rb].order()[pb].index());
                 va.partial_cmp(&vb).unwrap()
             });
             for (r, pos) in placed {
@@ -114,8 +106,7 @@ pub fn post_swap(
                 if delta >= 0 {
                     continue;
                 }
-                if width_with_replacement(instance, &placement.rows()[r], pos, CharId::from(u))
-                    > w
+                if width_with_replacement(instance, &placement.rows()[r], pos, CharId::from(u)) > w
                 {
                     continue;
                 }
@@ -157,8 +148,7 @@ pub fn post_insert(
         let mut candidates: Vec<usize> = selection
             .iter_unselected()
             .filter(|&i| {
-                instance.char(i).height() <= row_height
-                    && region_times.profit(instance, i) > 0.0
+                instance.char(i).height() <= row_height && region_times.profit(instance, i) > 0.0
             })
             .collect();
         candidates.sort_by(|&a, &b| {
@@ -200,9 +190,7 @@ pub fn post_insert(
                         let mut best: Option<(u64, usize)> = None;
                         for pos in 0..=row.len() {
                             let delta = row.insertion_delta(instance, pos, CharId::from(cand));
-                            if widths[r] + delta <= w
-                                && best.map_or(true, |(bd, _)| delta < bd)
-                            {
+                            if widths[r] + delta <= w && best.is_none_or(|(bd, _)| delta < bd) {
                                 best = Some((delta, pos));
                             }
                         }
@@ -248,7 +236,7 @@ mod tests {
 
     fn instance() -> Instance {
         let chars = vec![
-            Character::new(40, 40, [5, 5, 0, 0], 2).unwrap(),  // 0: low value
+            Character::new(40, 40, [5, 5, 0, 0], 2).unwrap(), // 0: low value
             Character::new(40, 40, [5, 5, 0, 0], 30).unwrap(), // 1: high value
             Character::new(40, 40, [5, 5, 0, 0], 20).unwrap(), // 2: mid value
             Character::new(30, 40, [6, 6, 0, 0], 25).unwrap(), // 3: small + valuable
@@ -267,10 +255,22 @@ mod tests {
         ]);
         let mut selection = placement.selection(4);
         let mut rt = RegionTimes::from_selection(&inst, &selection);
-        let swaps = post_swap(&inst, &mut placement, &mut selection, &mut rt, &Default::default());
+        let swaps = post_swap(
+            &inst,
+            &mut placement,
+            &mut selection,
+            &mut rt,
+            &Default::default(),
+        );
         assert!(swaps >= 1);
-        assert!(selection.contains(1), "high-value char should be swapped in");
-        assert!(!selection.contains(0), "low-value char should be swapped out");
+        assert!(
+            selection.contains(1),
+            "high-value char should be swapped in"
+        );
+        assert!(
+            !selection.contains(0),
+            "low-value char should be swapped out"
+        );
         assert!(placement.validate(&inst).is_ok());
         assert_eq!(rt.times(), &inst.writing_times(&selection)[..]);
     }
@@ -283,7 +283,13 @@ mod tests {
             Placement1d::from_rows(vec![Row::from_order(vec![CharId(0)]), Row::new()]);
         let mut selection = placement.selection(4);
         let mut rt = RegionTimes::from_selection(&inst, &selection);
-        let ins = post_insert(&inst, &mut placement, &mut selection, &mut rt, &Default::default());
+        let ins = post_insert(
+            &inst,
+            &mut placement,
+            &mut selection,
+            &mut rt,
+            &Default::default(),
+        );
         assert!(ins >= 2, "both rows have room for insertions, got {ins}");
         assert!(placement.validate(&inst).is_ok());
         assert_eq!(rt.times(), &inst.writing_times(&selection)[..]);
@@ -299,7 +305,13 @@ mod tests {
         ]);
         let mut selection = placement.selection(4);
         let mut rt = RegionTimes::from_selection(&inst, &selection);
-        let ins = post_insert(&inst, &mut placement, &mut selection, &mut rt, &Default::default());
+        let ins = post_insert(
+            &inst,
+            &mut placement,
+            &mut selection,
+            &mut rt,
+            &Default::default(),
+        );
         assert_eq!(ins, 0);
         assert!(placement.validate(&inst).is_ok());
     }
@@ -326,7 +338,13 @@ mod tests {
         // Insert at an end: +24 − min(2,10)=2 → +22 → 92.
         let mut selection = placement.selection(3);
         let mut rt = RegionTimes::from_selection(&inst, &selection);
-        let ins = post_insert(&inst, &mut placement, &mut selection, &mut rt, &Default::default());
+        let ins = post_insert(
+            &inst,
+            &mut placement,
+            &mut selection,
+            &mut rt,
+            &Default::default(),
+        );
         assert_eq!(ins, 1);
         assert_eq!(placement.rows()[0].order()[1], CharId(2), "middle position");
         assert!(placement.validate(&inst).is_ok());

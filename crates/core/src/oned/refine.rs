@@ -133,7 +133,8 @@ pub fn brute_force_min_width(instance: &Instance, set: &[CharId]) -> u64 {
         best: &mut u64,
     ) {
         if remaining.is_empty() {
-            let chars: Vec<&Character> = current.iter().map(|id| instance.char(id.index())).collect();
+            let chars: Vec<&Character> =
+                current.iter().map(|id| instance.char(id.index())).collect();
             *best = (*best).min(overlap::row_width_ordered(&chars));
             return;
         }

@@ -15,6 +15,7 @@
 //! region times between batches, exactly as intended by Algorithm 1.
 
 use super::mkp_lp::{solve_mkp_lp, MkpItem, MkpLpSolution, RowBase};
+use crate::cancel::StopFlag;
 use crate::profit::RegionTimes;
 use eblow_model::{CharId, Instance};
 
@@ -139,11 +140,16 @@ pub struct RoundingOutcome {
 ///
 /// `eligible` are candidate indices that physically fit a row (callers
 /// exclude too-tall/too-wide characters up front).
+///
+/// The loop polls `stop` before every LP iteration; on cancellation it
+/// returns the commitments made so far (still a consistent
+/// [`RoundingOutcome`], just with a larger unsolved set).
 pub fn successive_rounding(
     instance: &Instance,
     eligible: &[usize],
     num_rows: usize,
     config: &RoundingConfig,
+    stop: StopFlag<'_>,
 ) -> RoundingOutcome {
     let w = instance.stencil().width();
     let mut rows = vec![RowState::default(); num_rows];
@@ -154,7 +160,7 @@ pub fn successive_rounding(
     let mut last_items: Vec<MkpItem> = Vec::new();
 
     for _iter in 0..config.max_iters {
-        if unsolved.is_empty() {
+        if unsolved.is_empty() || stop.is_set() {
             break;
         }
         trace.unsolved_per_iter.push(unsolved.len());
@@ -297,7 +303,13 @@ mod tests {
     fn commits_until_capacity() {
         let inst = small_instance();
         let eligible: Vec<usize> = (0..8).collect();
-        let out = successive_rounding(&inst, &eligible, 2, &RoundingConfig::default());
+        let out = successive_rounding(
+            &inst,
+            &eligible,
+            2,
+            &RoundingConfig::default(),
+            StopFlag::NEVER,
+        );
         let placed: usize = out.rows.iter().map(|r| r.members.len()).sum();
         assert!(placed >= 4, "should fill most of 2×100 with ~30-wide chars");
         // Every row respects the S-Blank capacity estimate.
@@ -312,7 +324,13 @@ mod tests {
     fn region_times_match_commitments() {
         let inst = small_instance();
         let eligible: Vec<usize> = (0..8).collect();
-        let out = successive_rounding(&inst, &eligible, 2, &RoundingConfig::default());
+        let out = successive_rounding(
+            &inst,
+            &eligible,
+            2,
+            &RoundingConfig::default(),
+            StopFlag::NEVER,
+        );
         let sel = eblow_model::Selection::from_indices(
             8,
             out.rows
@@ -330,7 +348,7 @@ mod tests {
             batch_fraction: 0.3,
             ..Default::default()
         };
-        let out = successive_rounding(&inst, &eligible, 2, &cfg);
+        let out = successive_rounding(&inst, &eligible, 2, &cfg, StopFlag::NEVER);
         let u = &out.trace.unsolved_per_iter;
         assert!(!u.is_empty());
         assert!(u.windows(2).all(|w| w[1] <= w[0]), "{u:?} not decreasing");
@@ -344,7 +362,7 @@ mod tests {
             stall_fraction: 0.0,
             ..Default::default()
         };
-        let out = successive_rounding(&inst, &eligible, 2, &cfg);
+        let out = successive_rounding(&inst, &eligible, 2, &cfg, StopFlag::NEVER);
         // With no stall break the loop only stops when an iteration commits
         // nothing (or everything is solved).
         if !out.unsolved.is_empty() {
@@ -355,7 +373,7 @@ mod tests {
     #[test]
     fn empty_eligible_set() {
         let inst = small_instance();
-        let out = successive_rounding(&inst, &[], 2, &RoundingConfig::default());
+        let out = successive_rounding(&inst, &[], 2, &RoundingConfig::default(), StopFlag::NEVER);
         assert!(out.unsolved.is_empty());
         assert_eq!(out.rows.iter().map(|r| r.members.len()).sum::<usize>(), 0);
     }
@@ -364,7 +382,13 @@ mod tests {
     fn histogram_covers_unsolved_items() {
         let inst = small_instance();
         let eligible: Vec<usize> = (0..8).collect();
-        let out = successive_rounding(&inst, &eligible, 1, &RoundingConfig::default());
+        let out = successive_rounding(
+            &inst,
+            &eligible,
+            1,
+            &RoundingConfig::default(),
+            StopFlag::NEVER,
+        );
         let total: usize = out.trace.last_lp_histogram.iter().sum();
         assert_eq!(total, out.unsolved.len());
     }

@@ -188,12 +188,7 @@ mod tests {
     #[test]
     fn zero_time_instance_has_zero_profits() {
         let chars = vec![Character::new(10, 10, [1, 1, 1, 1], 5).unwrap()];
-        let inst = Instance::new(
-            Stencil::new(100, 100).unwrap(),
-            chars,
-            vec![vec![0]],
-        )
-        .unwrap();
+        let inst = Instance::new(Stencil::new(100, 100).unwrap(), chars, vec![vec![0]]).unwrap();
         let rt = RegionTimes::new(&inst);
         assert_eq!(rt.total(), 0);
         assert_eq!(rt.profit(&inst, 0), 0.0);

@@ -85,8 +85,8 @@ impl PackNode {
         } else {
             (self.height + other.height - merged.height) * self.width.min(other.width)
         };
-        let covered = (self.width * self.height + other.width * other.height) as f64
-            - shared as f64;
+        let covered =
+            (self.width * self.height + other.width * other.height) as f64 - shared as f64;
         ((merged_area - covered) / merged_area).max(0.0)
     }
 
@@ -169,7 +169,12 @@ pub fn prefilter(instance: &Instance, profits: &[f64], factor: f64) -> Vec<usize
 ///
 /// `bound` is the relative similarity tolerance of rule (8) (paper: 0.2).
 /// Merged nodes whose outline would exceed the stencil are not created.
-pub fn cluster(instance: &Instance, candidates: &[usize], profits: &[f64], bound: f64) -> Vec<PackNode> {
+pub fn cluster(
+    instance: &Instance,
+    candidates: &[usize],
+    profits: &[f64],
+    bound: f64,
+) -> Vec<PackNode> {
     let w = instance.stencil().width();
     let h = instance.stencil().height();
     let mut nodes: Vec<PackNode> = candidates
@@ -210,7 +215,7 @@ pub fn cluster(instance: &Instance, candidates: &[usize], profits: &[f64], bound
             tree.range_query(&lo, &hi, |_, &j, id| {
                 if j != k && !consumed[j] {
                     let d = (nodes[j].profit - nodes[k].profit).abs();
-                    if partner.map_or(true, |(_, bd, _)| d < bd) {
+                    if partner.is_none_or(|(_, bd, _)| d < bd) {
                         partner = Some((j, d, id));
                     }
                 }
@@ -309,12 +314,8 @@ mod tests {
             Character::new(40, 40, [5, 5, 5, 5], 10).unwrap(),
             Character::new(40, 40, [5, 5, 5, 5], 10).unwrap(),
         ];
-        let inst = Instance::new(
-            Stencil::new(60, 60).unwrap(),
-            chars,
-            vec![vec![5], vec![5]],
-        )
-        .unwrap();
+        let inst =
+            Instance::new(Stencil::new(60, 60).unwrap(), chars, vec![vec![5], vec![5]]).unwrap();
         let nodes = cluster(&inst, &[0, 1], &[45.0, 45.0], 0.2);
         assert_eq!(nodes.len(), 2);
     }

@@ -17,6 +17,7 @@ pub use cluster::{cluster, prefilter, PackNode};
 pub use sa::{NodeGeometry, OrderState, SeqPairState, SpMove};
 pub use skyline::{shelf_pack, ShelfPacking};
 
+use crate::cancel::StopFlag;
 use crate::profit::RegionTimes;
 use crate::Plan2d;
 use eblow_anneal::{Annealer, Schedule};
@@ -97,6 +98,17 @@ impl Eblow2d {
     /// instances are planned as free-form 2D); the `Result` mirrors the 1D
     /// API.
     pub fn plan(&self, instance: &Instance) -> Result<Plan2d, ModelError> {
+        self.plan_with_stop(instance, StopFlag::NEVER)
+    }
+
+    /// Like [`Eblow2d::plan`], but polls `stop` inside the SA packing loop.
+    /// A cancelled run returns the best packing found so far (the SA engine
+    /// restores its incumbent best on exit), which still validates.
+    pub fn plan_with_stop(
+        &self,
+        instance: &Instance,
+        stop: StopFlag<'_>,
+    ) -> Result<Plan2d, ModelError> {
         let started = Instant::now();
 
         // Initial dynamic profits at the all-VSB point (Eqn. 6).
@@ -116,7 +128,7 @@ impl Eblow2d {
         };
 
         // Stage 3: SA packing.
-        let positions = self.anneal(instance, &nodes);
+        let positions = self.anneal(instance, &nodes, stop);
 
         // Extract in-outline nodes into a character-level placement.
         let w = instance.stencil().width() as i64;
@@ -140,7 +152,12 @@ impl Eblow2d {
         Ok(finish_plan_2d(instance, placement, started))
     }
 
-    fn anneal(&self, instance: &Instance, nodes: &[PackNode]) -> Vec<Option<(i64, i64)>> {
+    fn anneal(
+        &self,
+        instance: &Instance,
+        nodes: &[PackNode],
+        stop: StopFlag<'_>,
+    ) -> Vec<Option<(i64, i64)>> {
         if nodes.is_empty() {
             return Vec::new();
         }
@@ -201,11 +218,11 @@ impl Eblow2d {
             let sp = SequencePair::new(pos_seq, neg_seq);
             let geometry = NodeGeometry::new(nodes);
             let mut state = SeqPairState::new(&objective, &geometry, sp);
-            annealer.run(&mut state);
+            annealer.run_with_stop(&mut state, stop.as_atomic());
             state.positions()
         } else {
             let mut state = OrderState::new(&objective, order);
-            annealer.run(&mut state);
+            annealer.run_with_stop(&mut state, stop.as_atomic());
             state.positions()
         }
     }
@@ -268,6 +285,18 @@ mod tests {
         };
         let plan = Eblow2d::new(cfg).plan(&inst).unwrap();
         plan.placement.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn pre_cancelled_plan_is_still_valid() {
+        use std::sync::atomic::AtomicBool;
+        let inst = eblow_gen::generate(&GenConfig::tiny_2d(15));
+        let stop = AtomicBool::new(true);
+        let plan = Eblow2d::default()
+            .plan_with_stop(&inst, StopFlag::new(&stop))
+            .unwrap();
+        plan.placement.validate(&inst).unwrap();
+        assert_eq!(plan.total_time, inst.total_writing_time(&plan.selection));
     }
 
     #[test]

@@ -115,8 +115,8 @@ impl<'a> Objective<'a> {
                     }
                 }
             } else {
-                let over_x =
-                    ((x + node.width as i64 - self.stencil_w).max(0) as f64) / self.stencil_w as f64;
+                let over_x = ((x + node.width as i64 - self.stencil_w).max(0) as f64)
+                    / self.stencil_w as f64;
                 let over_y = ((y + node.height as i64 - self.stencil_h).max(0) as f64)
                     / self.stencil_h as f64;
                 overflow += over_x + over_y;
@@ -127,12 +127,7 @@ impl<'a> Objective<'a> {
         } else {
             times.into_iter().max().unwrap_or(0).max(0) as f64
         };
-        let scale = *self
-            .instance
-            .vsb_times()
-            .iter()
-            .max()
-            .unwrap_or(&1) as f64;
+        let scale = *self.instance.vsb_times().iter().max().unwrap_or(&1) as f64;
         t_total + self.overflow_weight * scale * overflow / (self.nodes.len().max(1) as f64)
     }
 }
@@ -148,7 +143,11 @@ pub struct SeqPairState<'a> {
 
 impl<'a> SeqPairState<'a> {
     /// Creates the state from an initial sequence pair.
-    pub(crate) fn new(objective: &'a Objective<'a>, geometry: &'a NodeGeometry, sp: SequencePair) -> Self {
+    pub(crate) fn new(
+        objective: &'a Objective<'a>,
+        geometry: &'a NodeGeometry,
+        sp: SequencePair,
+    ) -> Self {
         let mut s = SeqPairState {
             objective,
             geometry,
@@ -317,12 +316,7 @@ mod tests {
         let chars: Vec<Character> = (0..n)
             .map(|i| Character::new(40, 40, [5, 5, 5, 5], 5 + i as u64).unwrap())
             .collect();
-        let inst = Instance::new(
-            Stencil::new(100, 100).unwrap(),
-            chars,
-            vec![vec![2]; n],
-        )
-        .unwrap();
+        let inst = Instance::new(Stencil::new(100, 100).unwrap(), chars, vec![vec![2]; n]).unwrap();
         let nodes: Vec<PackNode> = (0..n)
             .map(|i| PackNode::single(&inst, CharId::from(i), 1.0))
             .collect();
@@ -388,7 +382,7 @@ mod tests {
             .iter()
             .enumerate()
             .filter(|(k, p)| {
-                p.map_or(false, |(x, y)| {
+                p.is_some_and(|(x, y)| {
                     x >= 0
                         && y >= 0
                         && x + nodes[*k].width as i64 <= 100

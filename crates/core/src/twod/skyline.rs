@@ -254,7 +254,9 @@ mod tests {
         let inst2 = Instance::new(
             Stencil::new(100, 120).unwrap(),
             inst.chars().to_vec(),
-            (0..inst.num_chars()).map(|i| inst.repeat_row(i).to_vec()).collect(),
+            (0..inst.num_chars())
+                .map(|i| inst.repeat_row(i).to_vec())
+                .collect(),
         )
         .unwrap();
         placement.validate(&inst2).unwrap();

@@ -114,7 +114,7 @@ proptest! {
         let mut room = caps;
         let mut bound = 0.0;
         for &k in &order {
-            let take = (room / items[k].eff_width as f64).min(1.0).max(0.0);
+            let take = (room / items[k].eff_width as f64).clamp(0.0, 1.0);
             bound += take * items[k].profit;
             room -= take * items[k].eff_width as f64;
             if room <= 0.0 {

@@ -1,0 +1,58 @@
+//! **eblow-engine** — the parallel portfolio-planning subsystem of the
+//! E-BLOW workspace.
+//!
+//! The paper evaluates five-plus planners (exact ILP, the E-BLOW
+//! LP-rounding flows, and greedy/heuristic baselines); this crate turns
+//! that planner zoo into one production front door:
+//!
+//! * [`Strategy`] — an object-safe trait wrapping every 1D/2D planner
+//!   behind a single `plan(&Instance, &Budget) -> PlanOutcome` call, plus a
+//!   [`registry`](crate::strategy) of all built-in strategies by name.
+//! * [`Budget`] — a wall-clock deadline plus a shared cooperative stop
+//!   flag. Every planner in `eblow-core` polls the flag at loop boundaries
+//!   and finishes a *valid* plan early when it is raised, so cancellation
+//!   is anytime, not best-effort.
+//! * [`Portfolio`] — races selected strategies across OS threads under the
+//!   deadline, validates every returned plan against the model, and picks
+//!   the minimum-writing-time valid plan. Per-strategy reports record who
+//!   finished, who was cancelled, and who won.
+//! * [`Planner`] — the batch front-end: shards a queue of instances across
+//!   a worker pool and serves repeated requests from an
+//!   [`InstanceDigest`](eblow_model::InstanceDigest)-keyed LRU plan cache.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use eblow_engine::{Planner, PortfolioConfig};
+//! use std::time::Duration;
+//!
+//! let instance = eblow_gen::generate(&eblow_gen::GenConfig::tiny_1d(7));
+//! let planner = Planner::portfolio()
+//!     .with_config(PortfolioConfig {
+//!         deadline: Some(Duration::from_secs(5)),
+//!         ..Default::default()
+//!     });
+//! let outcome = planner.plan(&instance);
+//! let best = outcome.best.expect("some strategy produced a valid plan");
+//! println!("winner: {} at T_total = {}", best.strategy, best.total_time);
+//! for report in &outcome.reports {
+//!     println!("  {report}");
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod cache;
+mod outcome;
+mod planner;
+mod portfolio;
+pub mod strategy;
+
+pub use budget::Budget;
+pub use cache::{CacheStats, LruCache, PlanCacheKey};
+pub use outcome::{EngineError, PlanDetail, PlanOutcome};
+pub use planner::{BatchResult, Planner};
+pub use portfolio::{Portfolio, PortfolioConfig, PortfolioOutcome, StrategyReport, StrategyStatus};
+pub use strategy::{builtin_strategies, strategies_for, strategy_by_name, Strategy};

@@ -1,0 +1,350 @@
+//! The portfolio executor: race strategies across OS threads under a
+//! wall-clock deadline.
+
+use crate::budget::Budget;
+use crate::outcome::{EngineError, PlanOutcome};
+use crate::strategy::Strategy;
+use eblow_model::Instance;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tunables of one portfolio race.
+#[derive(Debug, Clone)]
+pub struct PortfolioConfig {
+    /// Wall-clock deadline for the whole race. When it passes, the shared
+    /// stop flag is raised and every strategy finishes its best valid plan
+    /// so far. `None` lets all strategies run to completion.
+    pub deadline: Option<Duration>,
+    /// Time cap for the exact-ILP strategies' branch-and-bound (further
+    /// clamped to the remaining deadline).
+    pub ilp_time_limit: Duration,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            deadline: None,
+            ilp_time_limit: Duration::from_secs(10),
+        }
+    }
+}
+
+/// How one strategy's run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategyStatus {
+    /// Produced the minimum-writing-time valid plan of the race.
+    Won,
+    /// Produced a valid plan, but not the best one.
+    Completed,
+    /// The deadline fired while this strategy was running. Its plan is
+    /// valid, but may be weaker than an uninterrupted run would produce —
+    /// and a strategy without poll points may in fact have completed
+    /// normally despite the label. Treat `Cancelled` as "result possibly
+    /// degraded by the deadline", not "partial work".
+    Cancelled,
+    /// Does not support this instance shape (not spawned at all).
+    Unsupported,
+    /// Returned an error or an invalid plan.
+    Failed(String),
+}
+
+impl StrategyStatus {
+    /// Whether this run contributed a valid plan.
+    pub fn has_plan(&self) -> bool {
+        matches!(
+            self,
+            StrategyStatus::Won | StrategyStatus::Completed | StrategyStatus::Cancelled
+        )
+    }
+}
+
+/// Per-strategy record of a portfolio race.
+#[derive(Debug, Clone)]
+pub struct StrategyReport {
+    /// Strategy registry name.
+    pub name: &'static str,
+    /// How the run ended.
+    pub status: StrategyStatus,
+    /// Whether the deadline fired while this strategy was running — set
+    /// independently of `status`, because a cancelled strategy can still
+    /// *win* the race (status `Won`) with its possibly-degraded plan.
+    pub cancelled: bool,
+    /// The plan's system writing time, when one was produced.
+    pub total_time: Option<u64>,
+    /// Wall-clock time the strategy ran for.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for StrategyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let time = match self.total_time {
+            Some(t) => t.to_string(),
+            None => "-".to_string(),
+        };
+        let status = match &self.status {
+            StrategyStatus::Won if self.cancelled => "won*".to_string(),
+            StrategyStatus::Won => "won".to_string(),
+            StrategyStatus::Completed => "completed".to_string(),
+            StrategyStatus::Cancelled => "cancelled".to_string(),
+            StrategyStatus::Unsupported => "unsupported".to_string(),
+            StrategyStatus::Failed(e) => format!("failed: {e}"),
+        };
+        write!(
+            f,
+            "{:<12} {:<10} T_total={:>8}  {:.3}s",
+            self.name,
+            status,
+            time,
+            self.elapsed.as_secs_f64()
+        )
+    }
+}
+
+/// What a portfolio race produced.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// The minimum-writing-time valid plan, if any strategy produced one.
+    pub best: Option<PlanOutcome>,
+    /// One report per selected strategy, in selection order.
+    pub reports: Vec<StrategyReport>,
+    /// Wall-clock time of the whole race.
+    pub elapsed: Duration,
+}
+
+impl PortfolioOutcome {
+    /// Name of the winning strategy, if any.
+    pub fn winner(&self) -> Option<&'static str> {
+        self.best.as_ref().map(|b| b.strategy)
+    }
+
+    /// Whether the race ran to completion: no strategy was (possibly)
+    /// degraded by the deadline. Only complete races represent the
+    /// portfolio's full-quality answer for an instance — the plan cache
+    /// refuses to store anything else.
+    pub fn complete(&self) -> bool {
+        self.reports.iter().all(|r| !r.cancelled)
+    }
+}
+
+/// A set of strategies raced against each other per instance.
+pub struct Portfolio {
+    strategies: Vec<Arc<dyn Strategy>>,
+}
+
+impl Portfolio {
+    /// A portfolio over an explicit strategy set.
+    pub fn new(strategies: Vec<Arc<dyn Strategy>>) -> Self {
+        Portfolio { strategies }
+    }
+
+    /// A portfolio over every built-in strategy; per instance, only the
+    /// supporting subset races.
+    pub fn all_builtin() -> Self {
+        Portfolio::new(crate::strategy::builtin_strategies())
+    }
+
+    /// A portfolio over built-in strategies selected by registry name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unknown name.
+    pub fn of_names<'n>(names: impl IntoIterator<Item = &'n str>) -> Result<Self, String> {
+        let mut strategies = Vec::new();
+        for name in names {
+            strategies
+                .push(crate::strategy::strategy_by_name(name).ok_or_else(|| name.to_string())?);
+        }
+        Ok(Portfolio::new(strategies))
+    }
+
+    /// The strategies in this portfolio.
+    pub fn strategies(&self) -> &[Arc<dyn Strategy>] {
+        &self.strategies
+    }
+
+    /// Races the supporting strategies on `instance` under `config`.
+    ///
+    /// One OS thread per strategy; when the deadline passes, the shared
+    /// stop flag is raised and every planner returns its best valid plan so
+    /// far (cooperative cancellation — see `eblow_core::cancel`). Every
+    /// returned plan is re-validated against the model before it may win;
+    /// the best plan is the valid one with minimum system writing time,
+    /// ties broken by portfolio order, so the result is deterministic for a
+    /// deterministic strategy set whenever no deadline fires.
+    pub fn run(&self, instance: &Instance, config: &PortfolioConfig) -> PortfolioOutcome {
+        let race_start = Instant::now();
+        let budget = match config.deadline {
+            Some(d) => Budget::with_deadline(d),
+            None => Budget::unlimited(),
+        }
+        .with_ilp_time_limit(config.ilp_time_limit);
+
+        // Reports start out Unsupported / Failed placeholders and are
+        // overwritten as results arrive.
+        let mut reports: Vec<StrategyReport> = self
+            .strategies
+            .iter()
+            .map(|s| StrategyReport {
+                name: s.name(),
+                status: StrategyStatus::Unsupported,
+                cancelled: false,
+                total_time: None,
+                elapsed: Duration::ZERO,
+            })
+            .collect();
+
+        let runnable: Vec<usize> = (0..self.strategies.len())
+            .filter(|&i| self.strategies[i].supports(instance))
+            .collect();
+
+        type WorkerMsg = (usize, Result<PlanOutcome, EngineError>, bool, Duration);
+        let (tx, rx) = mpsc::channel::<WorkerMsg>();
+
+        std::thread::scope(|scope| {
+            for &i in &runnable {
+                let strategy = Arc::clone(&self.strategies[i]);
+                let budget = budget.clone();
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    let result = strategy
+                        .plan(instance, &budget)
+                        .and_then(|outcome| outcome.validate(instance).map(|()| outcome));
+                    let cancelled = budget.is_cancelled();
+                    // A closed channel means the receiver gave up; nothing
+                    // useful to do from a worker thread.
+                    let _ = tx.send((i, result, cancelled, started.elapsed()));
+                });
+            }
+            drop(tx);
+
+            let mut pending = runnable.len();
+            let mut results: Vec<(usize, Result<PlanOutcome, EngineError>, bool)> = Vec::new();
+            while pending > 0 {
+                let msg = match budget.remaining() {
+                    Some(rem) if !budget.is_cancelled() => {
+                        match rx.recv_timeout(rem.max(Duration::from_millis(1))) {
+                            Ok(msg) => Some(msg),
+                            Err(mpsc::RecvTimeoutError::Timeout) => {
+                                // Deadline: raise the stop flag, then keep
+                                // draining — workers exit cooperatively.
+                                budget.cancel();
+                                None
+                            }
+                            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                    _ => match rx.recv() {
+                        Ok(msg) => Some(msg),
+                        Err(_) => break,
+                    },
+                };
+                if let Some((i, result, cancelled, elapsed)) = msg {
+                    reports[i].elapsed = elapsed;
+                    results.push((i, result, cancelled));
+                    pending -= 1;
+                }
+            }
+            // Fold results into reports and pick the best valid plan.
+            let mut best: Option<(u64, usize, PlanOutcome)> = None;
+            for (i, result, cancelled) in results {
+                reports[i].cancelled = cancelled;
+                match result {
+                    Ok(outcome) => {
+                        reports[i].total_time = Some(outcome.total_time);
+                        reports[i].status = if cancelled {
+                            StrategyStatus::Cancelled
+                        } else {
+                            StrategyStatus::Completed
+                        };
+                        let better = match &best {
+                            Some((t, ord, _)) => (outcome.total_time, i) < (*t, *ord),
+                            None => true,
+                        };
+                        if better {
+                            best = Some((outcome.total_time, i, outcome));
+                        }
+                    }
+                    Err(e) => {
+                        reports[i].status = StrategyStatus::Failed(e.to_string());
+                    }
+                }
+            }
+            if let Some((_, i, _)) = &best {
+                reports[*i].status = StrategyStatus::Won;
+            }
+            PortfolioOutcome {
+                best: best.map(|(_, _, outcome)| outcome),
+                reports,
+                elapsed: race_start.elapsed(),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblow_gen::GenConfig;
+
+    #[test]
+    fn portfolio_beats_or_matches_every_member() {
+        let inst = eblow_gen::generate(&GenConfig::tiny_1d(21));
+        let portfolio = Portfolio::all_builtin();
+        let outcome = portfolio.run(&inst, &PortfolioConfig::default());
+        let best = outcome.best.as_ref().expect("valid plan");
+        for report in &outcome.reports {
+            if let Some(t) = report.total_time {
+                assert!(best.total_time <= t, "{} beat the portfolio", report.name);
+            }
+        }
+        assert_eq!(outcome.winner().unwrap(), best.strategy);
+    }
+
+    #[test]
+    fn unsupported_strategies_are_reported_not_run() {
+        let inst = eblow_gen::generate(&GenConfig::tiny_2d(22));
+        let outcome = Portfolio::all_builtin().run(&inst, &PortfolioConfig::default());
+        let unsupported: Vec<&str> = outcome
+            .reports
+            .iter()
+            .filter(|r| r.status == StrategyStatus::Unsupported)
+            .map(|r| r.name)
+            .collect();
+        assert!(unsupported.contains(&"eblow1d"));
+        assert!(unsupported.contains(&"ilp2d"), "60 chars > ILP cap");
+    }
+
+    #[test]
+    fn of_names_rejects_unknown() {
+        assert!(Portfolio::of_names(["eblow1d", "greedy1d"]).is_ok());
+        assert_eq!(
+            Portfolio::of_names(["eblow1d", "bogus"]).err().unwrap(),
+            "bogus"
+        );
+    }
+
+    #[test]
+    fn tight_deadline_still_returns_valid_plans() {
+        let inst = eblow_gen::generate(&GenConfig::tiny_1d(23));
+        let config = PortfolioConfig {
+            deadline: Some(Duration::from_millis(1)),
+            ..Default::default()
+        };
+        let outcome = Portfolio::all_builtin().run(&inst, &config);
+        // Even with an immediate deadline every strategy must hand back a
+        // *valid* (possibly empty) plan or a clean failure — never an
+        // illegal placement.
+        if let Some(best) = &outcome.best {
+            best.validate(&inst).unwrap();
+        }
+        for report in &outcome.reports {
+            assert!(
+                !matches!(&report.status, StrategyStatus::Failed(e) if e.contains("disagrees")),
+                "cancelled strategy produced inconsistent accounting: {report}"
+            );
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! The [`Strategy`] trait and the registry of built-in strategies.
+//!
+//! Every planner in the workspace — the E-BLOW 1D/2D flows, the exact
+//! branch-and-bound ILPs, and the greedy/heuristic baselines of the paper's
+//! Tables 3–5 — is wrapped behind one object-safe interface so the
+//! portfolio executor, the batch planner, and the eval harness can treat
+//! them interchangeably.
+
+use crate::budget::Budget;
+use crate::outcome::{EngineError, PlanOutcome};
+use eblow_core::baselines::{
+    greedy_1d, greedy_2d, heuristic_1d_with_stop, row_heuristic_1d, sa_2d_with_stop,
+    Heuristic1dConfig, Sa2dConfig,
+};
+use eblow_core::ilp::{solve_ilp_1d, solve_ilp_2d};
+use eblow_core::oned::{Eblow1d, Eblow1dConfig};
+use eblow_core::twod::{Eblow2d, Eblow2dConfig};
+use eblow_core::Plan1d;
+use eblow_model::Instance;
+use std::sync::Arc;
+
+/// An object-safe planning strategy.
+///
+/// Implementations must be `Send + Sync`: the portfolio executor calls
+/// [`Strategy::plan`] from worker threads, sharing one `Arc<dyn Strategy>`
+/// per strategy across runs.
+pub trait Strategy: Send + Sync {
+    /// Stable identifier (registry key, report label, cache-key component).
+    fn name(&self) -> &'static str;
+
+    /// Whether this strategy can plan `instance` at all (e.g. 1D pipelines
+    /// need a row-structured stencil; the exact ILPs cap the candidate
+    /// count they will attempt).
+    fn supports(&self, instance: &Instance) -> bool;
+
+    /// Plans the stencil under `budget`. Implementations poll the budget's
+    /// stop flag so a portfolio deadline turns into a fast, *valid* early
+    /// return rather than an abort.
+    fn plan(&self, instance: &Instance, budget: &Budget) -> Result<PlanOutcome, EngineError>;
+}
+
+fn is_row_structured(instance: &Instance) -> bool {
+    instance.stencil().row_height().is_some()
+}
+
+/// The E-BLOW 1DOSP pipeline (successive rounding + fast ILP convergence +
+/// refinement + post stages).
+#[derive(Debug, Clone, Default)]
+pub struct Eblow1dStrategy {
+    config: Eblow1dConfig,
+    name: Option<&'static str>,
+}
+
+impl Eblow1dStrategy {
+    /// Wraps the full pipeline (the paper's E-BLOW-1).
+    pub fn new(config: Eblow1dConfig) -> Self {
+        Eblow1dStrategy { config, name: None }
+    }
+
+    /// The E-BLOW-0 ablation (no fast ILP convergence, no post-insertion) —
+    /// a cheaper, weaker portfolio member.
+    pub fn eblow0() -> Self {
+        Eblow1dStrategy {
+            config: Eblow1dConfig::eblow0(),
+            name: Some("eblow1d-0"),
+        }
+    }
+}
+
+impl Strategy for Eblow1dStrategy {
+    fn name(&self) -> &'static str {
+        self.name.unwrap_or("eblow1d")
+    }
+    fn supports(&self, instance: &Instance) -> bool {
+        is_row_structured(instance)
+    }
+    fn plan(&self, instance: &Instance, budget: &Budget) -> Result<PlanOutcome, EngineError> {
+        let plan =
+            Eblow1d::new(self.config.clone()).plan_with_stop(instance, budget.stop_flag())?;
+        Ok(PlanOutcome::from_1d(self.name(), plan))
+    }
+}
+
+/// "Greedy in \[24\]": profit-sorted first-fit, the fastest 1D baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Greedy1dStrategy;
+
+impl Strategy for Greedy1dStrategy {
+    fn name(&self) -> &'static str {
+        "greedy1d"
+    }
+    fn supports(&self, instance: &Instance) -> bool {
+        is_row_structured(instance)
+    }
+    fn plan(&self, instance: &Instance, _budget: &Budget) -> Result<PlanOutcome, EngineError> {
+        Ok(PlanOutcome::from_1d(self.name(), greedy_1d(instance)?))
+    }
+}
+
+/// The two-step heuristic framework of \[24\] (selection + TSP-style row
+/// ordering with 2-opt improvement).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Heuristic1dStrategy {
+    config: Heuristic1dConfig,
+}
+
+impl Strategy for Heuristic1dStrategy {
+    fn name(&self) -> &'static str {
+        "heuristic1d"
+    }
+    fn supports(&self, instance: &Instance) -> bool {
+        is_row_structured(instance)
+    }
+    fn plan(&self, instance: &Instance, budget: &Budget) -> Result<PlanOutcome, EngineError> {
+        let plan = heuristic_1d_with_stop(instance, &self.config, budget.stop_flag())?;
+        Ok(PlanOutcome::from_1d(self.name(), plan))
+    }
+}
+
+/// The row-structure heuristic in the spirit of \[25\] (density-sorted fill
+/// under the Lemma 1 capacity).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RowHeuristic1dStrategy;
+
+impl Strategy for RowHeuristic1dStrategy {
+    fn name(&self) -> &'static str {
+        "rowheur1d"
+    }
+    fn supports(&self, instance: &Instance) -> bool {
+        is_row_structured(instance)
+    }
+    fn plan(&self, instance: &Instance, _budget: &Budget) -> Result<PlanOutcome, EngineError> {
+        Ok(PlanOutcome::from_1d(
+            self.name(),
+            row_heuristic_1d(instance)?,
+        ))
+    }
+}
+
+/// The exact 1D ILP (formulation (3)) via branch-and-bound. Only supports
+/// small instances (Table 5 scale) — the binary count grows quadratically.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactIlp1dStrategy {
+    /// Refuse instances with more candidates than this (paper: GUROBI
+    /// already needs 1510 s at 12 characters).
+    pub max_chars: usize,
+}
+
+impl Default for ExactIlp1dStrategy {
+    fn default() -> Self {
+        ExactIlp1dStrategy { max_chars: 14 }
+    }
+}
+
+impl Strategy for ExactIlp1dStrategy {
+    fn name(&self) -> &'static str {
+        "ilp1d"
+    }
+    fn supports(&self, instance: &Instance) -> bool {
+        is_row_structured(instance) && instance.num_chars() <= self.max_chars
+    }
+    fn plan(&self, instance: &Instance, budget: &Budget) -> Result<PlanOutcome, EngineError> {
+        let out = solve_ilp_1d(instance, budget.ilp_time_limit())?;
+        let Some(placement) = out.placement_1d else {
+            return Err(EngineError::NoPlan {
+                strategy: self.name(),
+                reason: format!(
+                    "branch-and-bound returned {:?} with no incumbent",
+                    out.status
+                ),
+            });
+        };
+        let selection = placement.selection(instance.num_chars());
+        let region_times = instance.writing_times(&selection);
+        let total_time = region_times.iter().copied().max().unwrap_or(0);
+        Ok(PlanOutcome::from_1d(
+            self.name(),
+            Plan1d {
+                placement,
+                selection,
+                region_times,
+                total_time,
+                elapsed: out.elapsed,
+                trace: None,
+            },
+        ))
+    }
+}
+
+/// The E-BLOW 2DOSP pipeline (pre-filter + clustering + SA packing).
+#[derive(Debug, Clone, Default)]
+pub struct Eblow2dStrategy {
+    config: Eblow2dConfig,
+}
+
+impl Eblow2dStrategy {
+    /// Wraps the 2D pipeline with a custom configuration.
+    pub fn new(config: Eblow2dConfig) -> Self {
+        Eblow2dStrategy { config }
+    }
+}
+
+impl Strategy for Eblow2dStrategy {
+    fn name(&self) -> &'static str {
+        "eblow2d"
+    }
+    fn supports(&self, instance: &Instance) -> bool {
+        !is_row_structured(instance)
+    }
+    fn plan(&self, instance: &Instance, budget: &Budget) -> Result<PlanOutcome, EngineError> {
+        let plan =
+            Eblow2d::new(self.config.clone()).plan_with_stop(instance, budget.stop_flag())?;
+        Ok(PlanOutcome::from_2d(self.name(), plan))
+    }
+}
+
+/// "Greedy in \[24\]" for 2DOSP: density-sorted shelf packing without blank
+/// sharing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Greedy2dStrategy;
+
+impl Strategy for Greedy2dStrategy {
+    fn name(&self) -> &'static str {
+        "greedy2d"
+    }
+    fn supports(&self, instance: &Instance) -> bool {
+        !is_row_structured(instance)
+    }
+    fn plan(&self, instance: &Instance, _budget: &Budget) -> Result<PlanOutcome, EngineError> {
+        Ok(PlanOutcome::from_2d(self.name(), greedy_2d(instance)?))
+    }
+}
+
+/// The \[24\]-style SA floorplanner (no pre-filter, no clustering).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sa2dStrategy {
+    config: Sa2dConfig,
+}
+
+impl Strategy for Sa2dStrategy {
+    fn name(&self) -> &'static str {
+        "sa2d"
+    }
+    fn supports(&self, instance: &Instance) -> bool {
+        !is_row_structured(instance)
+    }
+    fn plan(&self, instance: &Instance, budget: &Budget) -> Result<PlanOutcome, EngineError> {
+        let plan = sa_2d_with_stop(instance, &self.config, budget.stop_flag())?;
+        Ok(PlanOutcome::from_2d(self.name(), plan))
+    }
+}
+
+/// The exact 2D ILP (formulation (7)) via branch-and-bound, Table 5 scale
+/// only.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactIlp2dStrategy {
+    /// Refuse instances with more candidates than this.
+    pub max_chars: usize,
+}
+
+impl Default for ExactIlp2dStrategy {
+    fn default() -> Self {
+        ExactIlp2dStrategy { max_chars: 10 }
+    }
+}
+
+impl Strategy for ExactIlp2dStrategy {
+    fn name(&self) -> &'static str {
+        "ilp2d"
+    }
+    fn supports(&self, instance: &Instance) -> bool {
+        !is_row_structured(instance) && instance.num_chars() <= self.max_chars
+    }
+    fn plan(&self, instance: &Instance, budget: &Budget) -> Result<PlanOutcome, EngineError> {
+        let out = solve_ilp_2d(instance, budget.ilp_time_limit());
+        let Some(placement) = out.placement_2d else {
+            return Err(EngineError::NoPlan {
+                strategy: self.name(),
+                reason: format!(
+                    "branch-and-bound returned {:?} with no incumbent",
+                    out.status
+                ),
+            });
+        };
+        let selection = placement.selection(instance.num_chars());
+        let region_times = instance.writing_times(&selection);
+        let total_time = region_times.iter().copied().max().unwrap_or(0);
+        Ok(PlanOutcome::from_2d(
+            self.name(),
+            eblow_core::Plan2d {
+                placement,
+                selection,
+                region_times,
+                total_time,
+                elapsed: out.elapsed,
+            },
+        ))
+    }
+}
+
+/// Every built-in strategy, 1D then 2D, strongest first within each group.
+///
+/// The set covers the whole planner zoo of the paper's evaluation:
+/// `eblow1d`, `eblow1d-0`, `heuristic1d`, `rowheur1d`, `greedy1d`, `ilp1d`,
+/// `eblow2d`, `sa2d`, `greedy2d`, `ilp2d`.
+pub fn builtin_strategies() -> Vec<Arc<dyn Strategy>> {
+    vec![
+        Arc::new(Eblow1dStrategy::default()),
+        Arc::new(Eblow1dStrategy::eblow0()),
+        Arc::new(Heuristic1dStrategy::default()),
+        Arc::new(RowHeuristic1dStrategy),
+        Arc::new(Greedy1dStrategy),
+        Arc::new(ExactIlp1dStrategy::default()),
+        Arc::new(Eblow2dStrategy::default()),
+        Arc::new(Sa2dStrategy::default()),
+        Arc::new(Greedy2dStrategy),
+        Arc::new(ExactIlp2dStrategy::default()),
+    ]
+}
+
+/// Looks up a built-in strategy by its registry name.
+pub fn strategy_by_name(name: &str) -> Option<Arc<dyn Strategy>> {
+    builtin_strategies().into_iter().find(|s| s.name() == name)
+}
+
+/// The built-in strategies that support `instance`, in registry order.
+pub fn strategies_for(instance: &Instance) -> Vec<Arc<dyn Strategy>> {
+    builtin_strategies()
+        .into_iter()
+        .filter(|s| s.supports(instance))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblow_gen::GenConfig;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let all = builtin_strategies();
+        let mut names: Vec<&str> = all.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "duplicate strategy names");
+        for name in names {
+            assert!(strategy_by_name(name).is_some(), "{name} not resolvable");
+        }
+        assert!(strategy_by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn support_splits_by_dimension() {
+        let d1 = eblow_gen::generate(&GenConfig::tiny_1d(1));
+        let d2 = eblow_gen::generate(&GenConfig::tiny_2d(1));
+        let s1: Vec<&str> = strategies_for(&d1).iter().map(|s| s.name()).collect();
+        let s2: Vec<&str> = strategies_for(&d2).iter().map(|s| s.name()).collect();
+        assert!(s1.contains(&"eblow1d") && !s1.contains(&"eblow2d"));
+        assert!(s2.contains(&"eblow2d") && !s2.contains(&"eblow1d"));
+        // The exact ILPs refuse 60-candidate instances.
+        assert!(!s1.contains(&"ilp1d"));
+        assert!(!s2.contains(&"ilp2d"));
+    }
+
+    #[test]
+    fn wrapped_strategy_matches_direct_planner_call() {
+        let inst = eblow_gen::generate(&GenConfig::tiny_1d(9));
+        let direct = Eblow1d::default().plan(&inst).unwrap();
+        let via = Eblow1dStrategy::default()
+            .plan(&inst, &Budget::unlimited())
+            .unwrap();
+        assert_eq!(via.total_time, direct.total_time);
+        assert_eq!(via.selection, direct.selection);
+        via.validate(&inst).unwrap();
+    }
+}

@@ -1,0 +1,140 @@
+//! Engine acceptance tests: determinism against direct planner calls,
+//! portfolio-race dominance, and plan-cache behaviour across batches.
+
+use eblow_engine::{strategy_by_name, Budget, Planner, Portfolio, PortfolioConfig, StrategyStatus};
+use eblow_gen::GenConfig;
+use std::time::Duration;
+
+/// Same seed + single strategy through the engine ≡ the direct planner
+/// call: the Strategy wrapper adds no nondeterminism.
+#[test]
+fn single_strategy_matches_direct_planner_call() {
+    let inst1 = eblow_gen::generate(&GenConfig::tiny_1d(77));
+    let direct1 = eblow_core::oned::Eblow1d::default().plan(&inst1).unwrap();
+    let via1 = strategy_by_name("eblow1d")
+        .unwrap()
+        .plan(&inst1, &Budget::unlimited())
+        .unwrap();
+    assert_eq!(via1.total_time, direct1.total_time);
+    assert_eq!(via1.selection, direct1.selection);
+    assert_eq!(via1.region_times, direct1.region_times);
+
+    let inst2 = eblow_gen::generate(&GenConfig::tiny_2d(77));
+    let direct2 = eblow_core::twod::Eblow2d::default().plan(&inst2).unwrap();
+    let via2 = strategy_by_name("eblow2d")
+        .unwrap()
+        .plan(&inst2, &Budget::unlimited())
+        .unwrap();
+    assert_eq!(via2.total_time, direct2.total_time);
+    assert_eq!(via2.selection, direct2.selection);
+}
+
+/// A single-strategy portfolio race is also deterministic run over run.
+#[test]
+fn single_strategy_portfolio_is_deterministic() {
+    let inst = eblow_gen::generate(&GenConfig::tiny_1d(78));
+    let portfolio = Portfolio::of_names(["eblow1d"]).unwrap();
+    let a = portfolio.run(&inst, &PortfolioConfig::default());
+    let b = portfolio.run(&inst, &PortfolioConfig::default());
+    assert_eq!(
+        a.best.as_ref().unwrap().total_time,
+        b.best.as_ref().unwrap().total_time
+    );
+    assert_eq!(a.best.unwrap().selection, b.best.unwrap().selection);
+}
+
+/// The portfolio's winning time is ≤ every individual strategy's time, on
+/// both 1D and 2D instances.
+#[test]
+fn race_result_dominates_every_individual_strategy() {
+    for (mk, names) in [
+        (
+            GenConfig::tiny_1d as fn(u64) -> GenConfig,
+            ["eblow1d", "heuristic1d", "rowheur1d", "greedy1d"].as_slice(),
+        ),
+        (
+            GenConfig::tiny_2d as fn(u64) -> GenConfig,
+            ["eblow2d", "sa2d", "greedy2d"].as_slice(),
+        ),
+    ] {
+        for seed in [1u64, 2, 3] {
+            let inst = eblow_gen::generate(&mk(seed));
+            let outcome = Portfolio::all_builtin().run(&inst, &PortfolioConfig::default());
+            let best = outcome.best.as_ref().expect("portfolio found a plan");
+            best.validate(&inst).unwrap();
+            for name in names {
+                let solo = strategy_by_name(name)
+                    .unwrap()
+                    .plan(&inst, &Budget::unlimited())
+                    .unwrap();
+                assert!(
+                    best.total_time <= solo.total_time,
+                    "portfolio {} > {} of {name} (seed {seed})",
+                    best.total_time,
+                    solo.total_time
+                );
+            }
+        }
+    }
+}
+
+/// A deadline race must still return valid plans, and per-strategy reports
+/// must cover every portfolio member.
+#[test]
+fn deadline_race_reports_every_member() {
+    let inst = eblow_gen::generate(&GenConfig::tiny_1d(79));
+    let portfolio = Portfolio::all_builtin();
+    let config = PortfolioConfig {
+        deadline: Some(Duration::from_secs(30)),
+        ..Default::default()
+    };
+    let outcome = portfolio.run(&inst, &config);
+    assert_eq!(outcome.reports.len(), portfolio.strategies().len());
+    let winners = outcome
+        .reports
+        .iter()
+        .filter(|r| r.status == StrategyStatus::Won)
+        .count();
+    assert_eq!(winners, 1, "exactly one winner");
+    outcome.best.unwrap().validate(&inst).unwrap();
+}
+
+/// The second `plan_batch` pass over the same queue is served entirely
+/// from the cache and agrees with the first pass.
+#[test]
+fn second_plan_batch_hits_the_cache() {
+    let planner = Planner::with_portfolio(
+        Portfolio::of_names(["greedy1d", "rowheur1d", "greedy2d"]).unwrap(),
+    )
+    .with_workers(2);
+    let batch: Vec<_> = (0..3)
+        .map(|s| eblow_gen::generate(&GenConfig::tiny_1d(90 + s)))
+        .chain((0..2).map(|s| eblow_gen::generate(&GenConfig::tiny_2d(90 + s))))
+        .collect();
+
+    let first = planner.plan_batch(&batch);
+    assert!(first.iter().all(|r| !r.from_cache));
+    let stats = planner.cache_stats();
+    assert_eq!(stats.misses, batch.len() as u64);
+    assert_eq!(stats.hits, 0);
+
+    let second = planner.plan_batch(&batch);
+    assert!(
+        second.iter().all(|r| r.from_cache),
+        "pass 2 must be all hits"
+    );
+    let stats = planner.cache_stats();
+    assert_eq!(stats.hits, batch.len() as u64);
+    assert_eq!(stats.misses, batch.len() as u64);
+
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(
+            a.outcome.as_ref().unwrap().total_time,
+            b.outcome.as_ref().unwrap().total_time
+        );
+        assert_eq!(
+            a.outcome.as_ref().unwrap().strategy,
+            b.outcome.as_ref().unwrap().strategy
+        );
+    }
+}

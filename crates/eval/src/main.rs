@@ -9,21 +9,45 @@
 //! eblow-eval fig6                   Fig. 6   (last-LP value histogram)
 //! eblow-eval fig11                  Fig. 11  (E-BLOW-0 vs E-BLOW-1 writing time)
 //! eblow-eval fig12                  Fig. 12  (E-BLOW-0 vs E-BLOW-1 runtime)
+//! eblow-eval portfolio [--deadline-s N]  engine portfolio race on the suites
 //! eblow-eval all [--ilp-limit-s N]  everything above
 //! ```
+//!
+//! Tables 3 and 4 run every method through the `eblow-engine` strategy
+//! registry — the same entry point production callers use — so the numbers
+//! here measure exactly what the engine serves.
 
-use eblow_core::baselines::{greedy_1d, greedy_2d, heuristic_1d, row_heuristic_1d, sa_2d};
 use eblow_core::ilp::{solve_ilp_1d, solve_ilp_2d};
 use eblow_core::oned::{Eblow1d, Eblow1dConfig};
 use eblow_core::twod::Eblow2d;
+use eblow_engine::{strategy_by_name, Budget, Portfolio, PortfolioConfig};
 use eblow_gen::{table3_suite, table4_suite, Family};
 use eblow_lp::MilpStatus;
+use eblow_model::Instance;
 use std::time::Duration;
 
 struct MethodRow {
     t: u64,
     chars: usize,
     cpu: f64,
+}
+
+/// Runs one registry strategy on `inst` through the engine and re-validates
+/// the plan, panicking with a labelled message on any inconsistency (the
+/// tables are correctness gates, not just reports).
+fn run_strategy(name: &str, case: &str, inst: &Instance) -> MethodRow {
+    let outcome = strategy_by_name(name)
+        .unwrap_or_else(|| panic!("strategy {name:?} not in the engine registry"))
+        .plan(inst, &Budget::unlimited())
+        .unwrap_or_else(|err| panic!("{name} failed on {case}: {err}"));
+    outcome
+        .validate(inst)
+        .unwrap_or_else(|err| panic!("{name} produced invalid plan on {case}: {err}"));
+    MethodRow {
+        t: outcome.total_time,
+        chars: outcome.selection.count(),
+        cpu: outcome.elapsed.as_secs_f64(),
+    }
 }
 
 fn print_header(title: &str, methods: &[&str]) {
@@ -59,7 +83,10 @@ fn print_summary(methods: &[&str], all: &[Vec<MethodRow>]) {
     }
     print!("{:8}", "Avg.");
     for j in 0..k {
-        print!(" | {:>10.1} {:>6.1} {:>8.3}", avg_t[j], avg_c[j], avg_cpu[j]);
+        print!(
+            " | {:>10.1} {:>6.1} {:>8.3}",
+            avg_t[j], avg_c[j], avg_cpu[j]
+        );
     }
     println!();
     // Ratios relative to the last method (E-BLOW), as in the paper.
@@ -86,37 +113,10 @@ fn table3() {
     );
     let mut all = Vec::new();
     for (name, inst) in table3_suite() {
-        let g = greedy_1d(&inst).expect("1D instance");
-        let h = heuristic_1d(&inst, &Default::default()).expect("1D instance");
-        let r = row_heuristic_1d(&inst).expect("1D instance");
-        let e = Eblow1d::default().plan(&inst).expect("1D instance");
-        for (plan, label) in [(&g, "greedy"), (&h, "heur24"), (&r, "row25"), (&e, "eblow")] {
-            plan.placement
-                .validate(&inst)
-                .unwrap_or_else(|err| panic!("{label} produced invalid plan on {name}: {err}"));
-        }
-        let rows = vec![
-            MethodRow {
-                t: g.total_time,
-                chars: g.selection.count(),
-                cpu: g.elapsed.as_secs_f64(),
-            },
-            MethodRow {
-                t: h.total_time,
-                chars: h.selection.count(),
-                cpu: h.elapsed.as_secs_f64(),
-            },
-            MethodRow {
-                t: r.total_time,
-                chars: r.selection.count(),
-                cpu: r.elapsed.as_secs_f64(),
-            },
-            MethodRow {
-                t: e.total_time,
-                chars: e.selection.count(),
-                cpu: e.elapsed.as_secs_f64(),
-            },
-        ];
+        let rows: Vec<MethodRow> = ["greedy1d", "heuristic1d", "rowheur1d", "eblow1d"]
+            .iter()
+            .map(|s| run_strategy(s, &name, &inst))
+            .collect();
         print_case(&name, &rows);
         all.push(rows);
     }
@@ -131,35 +131,47 @@ fn table4() {
     );
     let mut all = Vec::new();
     for (name, inst) in table4_suite() {
-        let g = greedy_2d(&inst).expect("2D instance");
-        let s = sa_2d(&inst, &Default::default()).expect("2D instance");
-        let e = Eblow2d::default().plan(&inst).expect("2D instance");
-        for (plan, label) in [(&g, "greedy"), (&s, "sa24"), (&e, "eblow")] {
-            plan.placement
-                .validate(&inst)
-                .unwrap_or_else(|err| panic!("{label} produced invalid plan on {name}: {err}"));
-        }
-        let rows = vec![
-            MethodRow {
-                t: g.total_time,
-                chars: g.selection.count(),
-                cpu: g.elapsed.as_secs_f64(),
-            },
-            MethodRow {
-                t: s.total_time,
-                chars: s.selection.count(),
-                cpu: s.elapsed.as_secs_f64(),
-            },
-            MethodRow {
-                t: e.total_time,
-                chars: e.selection.count(),
-                cpu: e.elapsed.as_secs_f64(),
-            },
-        ];
+        let rows: Vec<MethodRow> = ["greedy2d", "sa2d", "eblow2d"]
+            .iter()
+            .map(|s| run_strategy(s, &name, &inst))
+            .collect();
         print_case(&name, &rows);
         all.push(rows);
     }
     print_summary(&methods, &all);
+}
+
+/// Races the full engine portfolio on every Table 3/4 case under a
+/// deadline, printing the winner and the per-strategy report — the
+/// end-to-end path a production deployment exercises.
+fn portfolio(deadline: Duration) {
+    println!();
+    println!(
+        "== Engine portfolio race (deadline {:.1}s per case) ==",
+        deadline.as_secs_f64()
+    );
+    let portfolio = Portfolio::all_builtin();
+    let config = PortfolioConfig {
+        deadline: Some(deadline),
+        ..Default::default()
+    };
+    let suites = table3_suite().into_iter().chain(table4_suite());
+    for (name, inst) in suites {
+        let outcome = portfolio.run(&inst, &config);
+        match &outcome.best {
+            Some(best) => println!(
+                "{name:8} winner={:<12} T_total={:>10}  chars={:>5}  race={:.3}s",
+                best.strategy,
+                best.total_time,
+                best.selection.count(),
+                outcome.elapsed.as_secs_f64()
+            ),
+            None => println!("{name:8} no valid plan produced"),
+        }
+        for report in &outcome.reports {
+            println!("         {report}");
+        }
+    }
 }
 
 fn table5(ilp_limit: Duration) {
@@ -241,7 +253,9 @@ fn fig5() {
         .map(|k| {
             let inst = eblow_gen::benchmark(Family::M1(k));
             let plan = Eblow1d::default().plan(&inst).expect("1D instance");
-            plan.trace.expect("E-BLOW records a trace").unsolved_per_iter
+            plan.trace
+                .expect("E-BLOW records a trace")
+                .unsolved_per_iter
         })
         .collect();
     let rows = traces.iter().map(Vec::len).max().unwrap_or(0);
@@ -321,6 +335,13 @@ fn main() {
         .and_then(|v| v.parse::<u64>().ok())
         .map(Duration::from_secs)
         .unwrap_or(Duration::from_secs(60));
+    let deadline = args
+        .iter()
+        .position(|a| a == "--deadline-s")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_secs)
+        .unwrap_or(Duration::from_secs(30));
 
     match cmd {
         "table3" => table3(),
@@ -329,6 +350,7 @@ fn main() {
         "fig5" => fig5(),
         "fig6" => fig6(),
         "fig11" | "fig12" => fig11_12(),
+        "portfolio" => portfolio(deadline),
         "all" => {
             table3();
             table4();
@@ -336,11 +358,12 @@ fn main() {
             fig5();
             fig6();
             fig11_12();
+            portfolio(deadline);
         }
         other => {
             eprintln!("unknown command {other:?}");
             eprintln!(
-                "usage: eblow-eval [table3|table4|table5|fig5|fig6|fig11|fig12|all] [--ilp-limit-s N]"
+                "usage: eblow-eval [table3|table4|table5|fig5|fig6|fig11|fig12|portfolio|all] [--ilp-limit-s N] [--deadline-s N]"
             );
             std::process::exit(2);
         }

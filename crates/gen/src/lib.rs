@@ -191,9 +191,8 @@ pub fn generate(cfg: &GenConfig) -> Instance {
         let u: f64 = rng.random();
         let complexity = 0.25 + 4.0 * u.powi(4);
         let span = (cfg.shots.1.max(1) - cfg.shots.0.max(1)) as f64;
-        let area_scale = (pattern_area as f64
-            / ((cfg.width.1 * cfg.height.1.max(40)) as f64).max(1.0))
-        .min(1.0);
+        let area_scale =
+            (pattern_area as f64 / ((cfg.width.1 * cfg.height.1.max(40)) as f64).max(1.0)).min(1.0);
         let shots = (cfg.shots.0.max(1) as f64 + span * area_scale * complexity)
             .round()
             .clamp(1.0, 4.0 * cfg.shots.1.max(1) as f64) as u64;

@@ -147,7 +147,10 @@ mod tests {
     fn ordering_is_numeric() {
         assert!(Digits::from_u64(100) > Digits::from_u64(99));
         assert!(Digits::from_u64(100) < Digits::from_u64(101));
-        assert_eq!(Digits::from_u64(42).cmp(&Digits::from_u64(42)), Ordering::Equal);
+        assert_eq!(
+            Digits::from_u64(42).cmp(&Digits::from_u64(42)),
+            Ordering::Equal
+        );
     }
 
     #[test]

@@ -27,5 +27,7 @@ mod threesat;
 
 pub use bignum::Digits;
 pub use bss::{brute_force_bss, BssInstance};
-pub use osp::{bss_to_osp, brute_force_min_row, OspRowInstance};
-pub use threesat::{brute_force_sat, decode_assignment, threesat_to_bss, Clause, Literal, ThreeSat};
+pub use osp::{brute_force_min_row, bss_to_osp, OspRowInstance};
+pub use threesat::{
+    brute_force_sat, decode_assignment, threesat_to_bss, Clause, Literal, ThreeSat,
+};

@@ -127,12 +127,10 @@ mod tests {
         assert_eq!(osp.instance.char(2).blanks().left, 800);
         assert_eq!(osp.instance.char(3).blanks().left, 0);
         // {c0, c1, c2} packs to exactly M + s = 4300 (paper Fig. 3b).
-        let len = eblow_model::overlap::symmetric_min_length(
-            [0usize, 1, 2].iter().map(|&i| {
-                let c = osp.instance.char(i);
-                (c.width(), c.symmetric_blank())
-            }),
-        );
+        let len = eblow_model::overlap::symmetric_min_length([0usize, 1, 2].iter().map(|&i| {
+            let c = osp.instance.char(i);
+            (c.width(), c.symmetric_blank())
+        }));
         assert_eq!(len, 4300);
     }
 
@@ -168,18 +166,21 @@ mod tests {
         // Best solution must include c_0: compare against the best
         // anchor-less selection.
         let w = osp.instance.stencil().width();
-        let mut best_without = osp
-            .instance
-            .total_writing_time(&Selection::none(n));
+        let mut best_without = osp.instance.total_writing_time(&Selection::none(n));
         for mask in 1u64..(1 << (n - 1)) {
-            let ids: Vec<usize> = (0..n - 1).filter(|i| (mask >> i) & 1 == 1).map(|i| i + 1).collect();
+            let ids: Vec<usize> = (0..n - 1)
+                .filter(|i| (mask >> i) & 1 == 1)
+                .map(|i| i + 1)
+                .collect();
             let len = eblow_model::overlap::symmetric_min_length(ids.iter().map(|&i| {
                 let c = osp.instance.char(i);
                 (c.width(), c.symmetric_blank())
             }));
             if len <= w {
-                best_without = best_without
-                    .min(osp.instance.total_writing_time(&Selection::from_indices(n, ids)));
+                best_without = best_without.min(
+                    osp.instance
+                        .total_writing_time(&Selection::from_indices(n, ids)),
+                );
             }
         }
         let best = brute_force_min_row(&osp.instance);

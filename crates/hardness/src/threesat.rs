@@ -132,11 +132,7 @@ pub fn threesat_to_bss(sat: &ThreeSat) -> BssInstance {
             digits[0] = 1;
             digits[1 + v] = 1;
             for (j, clause) in sat.clauses.iter().enumerate() {
-                if clause
-                    .0
-                    .iter()
-                    .any(|l| l.var == v && l.negated == negated)
-                {
+                if clause.0.iter().any(|l| l.var == v && l.negated == negated) {
                     digits[1 + n + j] = 1;
                 }
             }
@@ -154,14 +150,10 @@ pub fn threesat_to_bss(sat: &ThreeSat) -> BssInstance {
     }
 
     // Target: leading (n+m) followed by n ones, m fours, m ones.
-    let mut target_digits: Vec<u8> = (n + m)
-        .to_string()
-        .bytes()
-        .map(|b| b - b'0')
-        .collect();
-    target_digits.extend(std::iter::repeat(1).take(n));
-    target_digits.extend(std::iter::repeat(4).take(m));
-    target_digits.extend(std::iter::repeat(1).take(m));
+    let mut target_digits: Vec<u8> = (n + m).to_string().bytes().map(|b| b - b'0').collect();
+    target_digits.extend(std::iter::repeat_n(1, n));
+    target_digits.extend(std::iter::repeat_n(4, m));
+    target_digits.extend(std::iter::repeat_n(1, m));
     let target = Digits::from_digits(target_digits);
 
     BssInstance::new(numbers, target).expect("construction satisfies boundedness")

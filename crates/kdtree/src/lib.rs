@@ -289,7 +289,7 @@ impl<const K: usize, T> KdTree<K, T> {
         }
         if node.active {
             let d2: f64 = (0..K).map(|d| (node.point[d] - q[d]).powi(2)).sum();
-            if best.map_or(true, |(_, bd)| d2 < bd) {
+            if best.is_none_or(|(_, bd)| d2 < bd) {
                 *best = Some((idx, d2));
             }
         }
@@ -304,7 +304,7 @@ impl<const K: usize, T> KdTree<K, T> {
             self.nearest_rec(f, q, best);
         }
         if let Some(s) = second {
-            if best.map_or(true, |(_, bd)| diff * diff < bd) {
+            if best.is_none_or(|(_, bd)| diff * diff < bd) {
                 self.nearest_rec(s, q, best);
             }
         }

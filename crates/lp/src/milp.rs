@@ -202,7 +202,7 @@ impl BranchBound {
                         Some((_, _, best_c)) if closeness >= best_c => {}
                         _ => branch = Some((v, x, closeness)),
                     }
-                    if rank < prefix && branch.map_or(false, |(bv, _, _)| bv == v) {
+                    if rank < prefix && branch.is_some_and(|(bv, _, _)| bv == v) {
                         // keep scanning the prefix for a more fractional one
                         continue;
                     }

@@ -138,7 +138,10 @@ impl LpProblem {
     /// Panics if `lb` is not finite, if `ub < lb`, or if any value is NaN.
     pub fn add_var(&mut self, lb: f64, ub: f64, obj: f64) -> VarId {
         assert!(lb.is_finite(), "lower bound must be finite");
-        assert!(!ub.is_nan() && ub >= lb, "upper bound must be ≥ lower bound");
+        assert!(
+            !ub.is_nan() && ub >= lb,
+            "upper bound must be ≥ lower bound"
+        );
         assert!(obj.is_finite(), "objective coefficient must be finite");
         self.vars.push(VarDef { lb, ub, obj });
         VarId(self.vars.len() - 1)

@@ -193,10 +193,7 @@ impl Simplex {
             iterations: 0,
         };
 
-        let max_iters = self
-            .config
-            .max_iters
-            .unwrap_or(100 * (m + total) + 1000);
+        let max_iters = self.config.max_iters.unwrap_or(100 * (m + total) + 1000);
 
         // ---- phase 1 -------------------------------------------------------
         if !art_cols.is_empty() {
@@ -209,7 +206,13 @@ impl Simplex {
                 return self.finish(problem, &t, lb, LpStatus::IterationLimit, minimize);
             }
             let infeas: f64 = (0..t.tab.len())
-                .map(|r| if t.is_art[t.basis[r]] { t.xb[r].max(0.0) } else { 0.0 })
+                .map(|r| {
+                    if t.is_art[t.basis[r]] {
+                        t.xb[r].max(0.0)
+                    } else {
+                        0.0
+                    }
+                })
                 .sum();
             if infeas > self.config.feas_tol * (1.0 + m as f64) {
                 return self.finish(problem, &t, lb, LpStatus::Infeasible, minimize);
@@ -484,7 +487,7 @@ impl Tableau {
                 }
             }
 
-            if self.iterations % 128 == 0 {
+            if self.iterations.is_multiple_of(128) {
                 self.refresh_xb();
             }
         }
@@ -498,10 +501,11 @@ impl Tableau {
                 continue;
             }
             // Find any non-artificial nonbasic column usable as a pivot.
-            let col = (0..self.num_cols())
-                .find(|&j| !self.is_art[j]
+            let col = (0..self.num_cols()).find(|&j| {
+                !self.is_art[j]
                     && !matches!(self.state[j], VarState::Basic(_))
-                    && self.tab[r][j].abs() > cfg.pivot_tol);
+                    && self.tab[r][j].abs() > cfg.pivot_tol
+            });
             if let Some(j) = col {
                 let old = self.basis[r];
                 let old_val = self.xb[r];

@@ -38,7 +38,7 @@ proptest! {
         let mut best = 0.0;
         for &i in &order {
             let (p, w) = (items[i].0 as f64, items[i].1 as f64);
-            let take = (room / w).min(1.0).max(0.0);
+            let take = (room / w).clamp(0.0, 1.0);
             best += take * p;
             room -= take * w;
             if room <= 0.0 { break; }

@@ -260,11 +260,7 @@ mod tests {
 
     #[test]
     fn rectangular_more_rows_than_cols() {
-        let w = vec![
-            vec![Some(1.0)],
-            vec![Some(5.0)],
-            vec![Some(3.0)],
-        ];
+        let w = vec![vec![Some(1.0)], vec![Some(5.0)], vec![Some(3.0)]];
         let m = max_weight_matching(&w);
         check_valid(&w, &m);
         assert_eq!(m.pairs, vec![None, Some(0), None]);

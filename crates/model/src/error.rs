@@ -136,7 +136,10 @@ impl fmt::Display for ModelError {
             ),
             ModelError::NoRegions => write!(f, "an instance needs at least one region"),
             ModelError::UnknownChar { id, num_chars } => {
-                write!(f, "character id {id} out of range (instance has {num_chars})")
+                write!(
+                    f,
+                    "character id {id} out of range (instance has {num_chars})"
+                )
             }
             ModelError::DuplicateChar { id } => {
                 write!(f, "character id {id} appears more than once")
@@ -161,13 +164,19 @@ impl fmt::Display for ModelError {
                 "character {id} of height {height} does not fit row height {row_height}"
             ),
             ModelError::NotRowStructured => {
-                write!(f, "instance has no row structure (stencil row height unset)")
+                write!(
+                    f,
+                    "instance has no row structure (stencil row height unset)"
+                )
             }
             ModelError::OutsideOutline { id } => {
                 write!(f, "character {id} extends outside the stencil outline")
             }
             ModelError::IllegalOverlap { a, b } => {
-                write!(f, "characters {a} and {b} overlap beyond their shared blanks")
+                write!(
+                    f,
+                    "characters {a} and {b} overlap beyond their shared blanks"
+                )
             }
             ModelError::SelectionLength { got, expected } => {
                 write!(f, "selection mask has length {got}, expected {expected}")

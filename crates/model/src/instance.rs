@@ -155,6 +155,13 @@ impl Instance {
         self.stencil
     }
 
+    /// A stable 128-bit content fingerprint of this instance (see
+    /// [`crate::InstanceDigest`]). Equal digests imply planning-equivalent
+    /// instances, so the digest can key plan caches.
+    pub fn digest(&self) -> crate::InstanceDigest {
+        crate::InstanceDigest::of(self)
+    }
+
     /// The character candidates.
     #[inline]
     pub fn chars(&self) -> &[Character] {

@@ -45,16 +45,18 @@
 #![warn(missing_docs)]
 
 mod character;
+mod digest;
 mod error;
 mod instance;
 pub mod io;
 pub mod overlap;
-pub mod simulate;
 mod placement1d;
 mod placement2d;
 mod selection;
+pub mod simulate;
 
 pub use character::{Blanks, CharId, Character};
+pub use digest::{Fnv64, InstanceDigest};
 pub use error::ModelError;
 pub use instance::{Instance, Stencil};
 pub use placement1d::{Placement1d, Row};

@@ -90,7 +90,9 @@ impl Row {
     /// sharing with the new neighbours. Negative deltas are impossible.
     pub fn insertion_delta(&self, instance: &Instance, pos: usize, id: CharId) -> u64 {
         let u = instance.char(id.index());
-        let left = pos.checked_sub(1).map(|p| instance.char(self.order[p].index()));
+        let left = pos
+            .checked_sub(1)
+            .map(|p| instance.char(self.order[p].index()));
         let right = self.order.get(pos).map(|r| instance.char(r.index()));
         let gain_left = left.map_or(0, |l| overlap::h_overlap(l, u));
         let gain_right = right.map_or(0, |r| overlap::h_overlap(u, r));
@@ -179,7 +181,9 @@ impl Placement1d {
     pub fn selection(&self, num_chars: usize) -> Selection {
         Selection::from_indices(
             num_chars,
-            self.rows.iter().flat_map(|r| r.order().iter().map(|c| c.index())),
+            self.rows
+                .iter()
+                .flat_map(|r| r.order().iter().map(|c| c.index())),
         )
     }
 
@@ -299,11 +303,8 @@ mod tests {
     #[test]
     fn validate_rejects_overflow_duplicate_tall() {
         let inst = inst();
-        let wide = Placement1d::from_rows(vec![Row::from_order(vec![
-            CharId(0),
-            CharId(1),
-            CharId(2),
-        ])]);
+        let wide =
+            Placement1d::from_rows(vec![Row::from_order(vec![CharId(0), CharId(1), CharId(2)])]);
         assert!(matches!(
             wide.validate(&inst),
             Err(ModelError::RowOverflow { .. })
@@ -327,7 +328,10 @@ mod tests {
         let many = Placement1d::empty(3);
         assert!(matches!(
             many.validate(&inst),
-            Err(ModelError::TooManyRows { got: 3, available: 2 })
+            Err(ModelError::TooManyRows {
+                got: 3,
+                available: 2
+            })
         ));
     }
 }

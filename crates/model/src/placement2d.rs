@@ -116,8 +116,7 @@ impl Placement2d {
             }
             seen[i] = true;
             let c = instance.char(i);
-            if p.x < 0 || p.y < 0 || p.x + (c.width() as i64) > w || p.y + (c.height() as i64) > h
-            {
+            if p.x < 0 || p.y < 0 || p.x + (c.width() as i64) > w || p.y + (c.height() as i64) > h {
                 return Err(ModelError::OutsideOutline { id: i });
             }
         }

@@ -185,7 +185,10 @@ mod tests {
         assert!(s.check_len(3).is_ok());
         assert!(matches!(
             s.check_len(4),
-            Err(ModelError::SelectionLength { got: 3, expected: 4 })
+            Err(ModelError::SelectionLength {
+                got: 3,
+                expected: 4
+            })
         ));
     }
 

@@ -6,15 +6,22 @@ use proptest::prelude::*;
 
 /// Strategy: a legal character (blanks always fit the outline).
 fn character() -> impl Strategy<Value = Character> {
-    (10u64..80, 10u64..80, 0u64..12, 0u64..12, 0u64..12, 0u64..12, 1u64..200).prop_map(
-        |(w, h, bl, br, bb, bt, shots)| {
+    (
+        10u64..80,
+        10u64..80,
+        0u64..12,
+        0u64..12,
+        0u64..12,
+        0u64..12,
+        1u64..200,
+    )
+        .prop_map(|(w, h, bl, br, bb, bt, shots)| {
             let bl = bl.min(w / 2);
             let br = br.min(w - bl);
             let bb = bb.min(h / 2);
             let bt = bt.min(h - bb);
             Character::new(w, h, [bl, br, bb, bt], shots).expect("constructed to be legal")
-        },
-    )
+        })
 }
 
 fn instance() -> impl Strategy<Value = Instance> {

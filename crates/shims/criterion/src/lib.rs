@@ -1,0 +1,173 @@
+//! Offline, workspace-local stand-in for the `criterion` crate.
+//!
+//! The E-BLOW workspace builds with no access to crates.io; this shim keeps
+//! the `benches/` targets compiling and runnable. Instead of criterion's
+//! statistical sampling it times each benchmark over a small fixed number of
+//! iterations and prints mean wall-clock time — adequate for the paper's
+//! "CPU(s)" columns, which compare runtimes that differ by 10×–30×.
+//!
+//! Supported surface: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-compatible.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs closures passed to [`Bencher::iter`] and records their timing.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let iters = self.iters.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let mean = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+    println!("bench {name:<40} {:>12.6} s/iter ({} iters)", mean, b.iters);
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Iterations per benchmark (criterion's `sample_size` analogue).
+    sample_size: u64,
+    /// Quick mode: run each closure once (used under `cargo test`).
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 3,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: if self.test_mode { 1 } else { self.sample_size },
+            ..Default::default()
+        };
+        f(&mut b);
+        report(name.as_ref(), &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks (criterion-compatible subset).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for subsequent benchmarks in this group.
+    /// (Criterion semantics are "statistical samples"; here it caps the
+    /// fixed iteration count to keep single-shot runs fast.)
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = (n as u64).clamp(1, 10).min(3);
+        self
+    }
+
+    /// Benchmarks `f` under `group/name`.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        let mut b = Bencher {
+            iters: if self.parent.test_mode {
+                1
+            } else {
+                self.parent.sample_size
+            },
+            ..Default::default()
+        };
+        f(&mut b);
+        report(&full, &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(c: &mut Criterion) {
+        c.bench_function("toy/sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("toy");
+        group.sample_size(10);
+        group.bench_function("prod", |b| b.iter(|| (1..10u64).product::<u64>()));
+        group.finish();
+    }
+
+    #[test]
+    fn full_surface_runs() {
+        let mut c = Criterion {
+            sample_size: 1,
+            test_mode: true,
+        };
+        toy(&mut c);
+    }
+}

@@ -1,0 +1,234 @@
+//! Offline, workspace-local stand-in for the `rand` crate.
+//!
+//! The E-BLOW workspace builds in environments with no access to crates.io,
+//! so the small slice of the `rand` API the workspace actually uses is
+//! reimplemented here on top of a deterministic xorshift64* generator seeded
+//! through SplitMix64. The guarantees the workspace relies on hold:
+//!
+//! * **Determinism** — the same seed yields the same stream, on every
+//!   platform and in every build profile.
+//! * **Statistical adequacy** — xorshift64* passes the smoke-level
+//!   uniformity needs of benchmark generation and simulated annealing; this
+//!   is *not* a cryptographic generator.
+//!
+//! Supported surface: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! the [`RngExt`] methods `random`, `random_range` (half-open and inclusive
+//! integer ranges), and `random_bool`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Concrete generator types.
+pub mod rngs {
+    /// A deterministic pseudo-random generator (xorshift64* core, SplitMix64
+    /// seeding). Stands in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        /// Advances the generator and returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            // xorshift64*
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+/// Seeding interface, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 scramble so that small seeds (0, 1, 2, ...) still start
+        // from well-mixed, non-zero states.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        rngs::StdRng { state: z | 1 }
+    }
+}
+
+/// A type that can be drawn uniformly from a generator via
+/// [`RngExt::random`].
+pub trait RandomValue {
+    /// Draws one value.
+    fn draw(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl RandomValue for f64 {
+    fn draw(rng: &mut rngs::StdRng) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl RandomValue for u64 {
+    fn draw(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl RandomValue for u32 {
+    fn draw(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl RandomValue for bool {
+    fn draw(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range that can be sampled via [`RngExt::random_range`].
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample(self, rng: &mut rngs::StdRng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),+) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )+};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty),+) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )+};
+}
+
+impl_sample_range_signed!(i8, i16, i32, i64, isize);
+
+/// Value-drawing extension methods, mirroring the `rand::Rng` surface the
+/// workspace uses (the seed code imports this as `RngExt`).
+pub trait RngExt {
+    /// Advances the generator and returns the next 64 random bits.
+    fn gen_u64(&mut self) -> u64;
+
+    /// Draws a uniform value of type `T`.
+    fn random<T: RandomValue>(&mut self) -> T;
+
+    /// Draws a value uniformly from `range`.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+impl RngExt for rngs::StdRng {
+    fn gen_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    fn random<T: RandomValue>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(7);
+        let mut b = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.random_range(3u64..=9);
+            assert!((3..=9).contains(&x));
+            let y = rng.random_range(0usize..5);
+            assert!(y < 5);
+            let z = rng.random_range(-4i64..4);
+            assert!((-4..4).contains(&z));
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_roughly_uniform() {
+        let mut rng = rngs::StdRng::seed_from_u64(42);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits} not near 2500");
+    }
+}

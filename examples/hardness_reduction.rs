@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let witness = brute_force_bss(&bss).expect("reduction preserves satisfiability");
     println!("subset witness: {witness:?}");
     let decoded = decode_assignment(&sat, &witness);
-    assert!(sat.eval(&decoded), "decoded assignment must satisfy the formula");
+    assert!(
+        sat.eval(&decoded),
+        "decoded assignment must satisfy the formula"
+    );
     println!("decoded back to assignment: {decoded:?}");
 
     // Step 2: BSS → 1DOSP (Lemma 2), on the paper's Fig. 3 numbers.

@@ -7,6 +7,7 @@
 //! |---|---|
 //! | [`model`] | characters, instances, placements, writing-time accounting |
 //! | [`planner`] | the E-BLOW 1D/2D pipelines, exact ILPs, baselines |
+//! | [`engine`] | the portfolio engine: Strategy registry, deadline racing, plan cache |
 //! | [`gen`] | the synthetic benchmark families of the paper's evaluation |
 //! | [`lp`] | simplex + branch-and-bound MILP substrate |
 //! | [`kdtree`], [`matching`], [`seqpair`], [`anneal`] | algorithmic substrates |
@@ -24,14 +25,29 @@
 //! println!("writing time {}", plan.total_time);
 //! ```
 //!
-//! See `examples/` for runnable end-to-end scenarios and the `eblow-eval`
-//! binary for the full paper-table reproduction.
+//! Production callers should prefer the portfolio engine, which races every
+//! applicable planner under a deadline and caches plans by instance digest:
+//!
+//! ```
+//! use eblow::engine::Planner;
+//! use eblow::gen::GenConfig;
+//!
+//! let instance = eblow::gen::generate(&GenConfig::tiny_1d(42));
+//! let outcome = Planner::portfolio().plan(&instance);
+//! let best = outcome.best.expect("some strategy produced a valid plan");
+//! println!("{} found writing time {}", best.strategy, best.total_time);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios (in particular
+//! `examples/portfolio.rs`) and the `eblow-eval` binary for the full
+//! paper-table reproduction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use eblow_anneal as anneal;
 pub use eblow_core as planner;
+pub use eblow_engine as engine;
 pub use eblow_gen as gen;
 pub use eblow_hardness as hardness;
 pub use eblow_kdtree as kdtree;

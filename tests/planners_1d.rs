@@ -101,5 +101,8 @@ fn paper_benchmark_shapes() {
     // The paper's 1D cases place the vast majority of the 1000 candidates.
     assert!(plan.selection.count() > 600, "{}", plan.selection.count());
     let trace = plan.trace.expect("trace");
-    assert!(trace.unsolved_per_iter.len() >= 2, "multi-iteration rounding");
+    assert!(
+        trace.unsolved_per_iter.len() >= 2,
+        "multi-iteration rounding"
+    );
 }
