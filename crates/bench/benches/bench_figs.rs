@@ -3,7 +3,9 @@
 //! produces Figs. 5/6.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use eblow_core::oned::{successive_rounding, Eblow1d, Eblow1dConfig, RoundingConfig};
+use eblow_core::oned::{
+    successive_rounding, CombinatorialOracle, Eblow1d, Eblow1dConfig, RoundingConfig,
+};
 use eblow_gen::{benchmark, Family};
 use std::hint::black_box;
 
@@ -33,6 +35,7 @@ fn bench_figs(c: &mut Criterion) {
                 black_box(&eligible),
                 rows,
                 &RoundingConfig::default(),
+                &CombinatorialOracle,
                 eblow_core::StopFlag::NEVER,
             )
             .trace

@@ -1,5 +1,6 @@
 //! The "Greedy in \[24\]" 2D baseline.
 
+use crate::cancel::StopFlag;
 use crate::profit::static_profits;
 use crate::twod::finish_plan_2d;
 use crate::Plan2d;
@@ -15,6 +16,16 @@ use std::time::Instant;
 ///
 /// Never fails today; the `Result` mirrors the other planners' APIs.
 pub fn greedy_2d(instance: &Instance) -> Result<Plan2d, ModelError> {
+    greedy_2d_with_stop(instance, StopFlag::NEVER)
+}
+
+/// Like [`greedy_2d`], but polls `stop` in the shelf-packing loop; on
+/// cancellation the shelves packed so far form the (valid) plan.
+///
+/// # Errors
+///
+/// Never fails today; the `Result` mirrors the other planners' APIs.
+pub fn greedy_2d_with_stop(instance: &Instance, stop: StopFlag<'_>) -> Result<Plan2d, ModelError> {
     let started = Instant::now();
     let w = instance.stencil().width() as i64;
     let h = instance.stencil().height() as i64;
@@ -38,6 +49,9 @@ pub fn greedy_2d(instance: &Instance) -> Result<Plan2d, ModelError> {
     let mut y = 0i64;
     let mut shelf_h = 0i64;
     for i in order {
+        if stop.is_set() {
+            break;
+        }
         let c = instance.char(i);
         let (cw, ch) = (c.width() as i64, c.height() as i64);
         if x + cw > w {
@@ -81,6 +95,18 @@ mod tests {
         let plan = greedy_2d(&inst).unwrap();
         plan.placement.validate(&inst).unwrap();
         assert!(plan.selection.count() > 0);
+    }
+
+    #[test]
+    fn pre_cancelled_plan_is_still_valid() {
+        use std::sync::atomic::AtomicBool;
+        let inst = eblow_gen::generate(&GenConfig::tiny_2d(62));
+        let stop = AtomicBool::new(true);
+        let plan = greedy_2d_with_stop(&inst, StopFlag::new(&stop)).unwrap();
+        plan.placement.validate(&inst).unwrap();
+        assert_eq!(plan.total_time, inst.total_writing_time(&plan.selection));
+        let full = greedy_2d(&inst).unwrap();
+        assert!(plan.total_time >= full.total_time);
     }
 
     #[test]

@@ -178,6 +178,9 @@ pub fn heuristic_1d_with_stop(
         .collect();
     rest.sort_by(|&a, &b| profits[b].partial_cmp(&profits[a]).unwrap());
     for i in rest {
+        if stop.is_set() {
+            break;
+        }
         for r in 0..num_rows {
             let delta = rows[r].insertion_delta(instance, rows[r].len(), CharId::from(i));
             if rows[r].min_width(instance) + delta <= w {
@@ -237,6 +240,11 @@ fn order_row(
             }
             let mut improved = false;
             for a in 0..k - 1 {
+                // One full sweep is O(k³); on wide rows that is the longest
+                // stretch between polls, so check inside the sweep as well.
+                if stop.is_set() {
+                    break;
+                }
                 for b in a + 1..k {
                     chain[a..=b].reverse();
                     let w2 = width(&chain);

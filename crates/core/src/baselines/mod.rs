@@ -24,8 +24,8 @@ mod heuristic1d;
 mod rowheur;
 mod sa2d;
 
-pub use greedy1d::greedy_1d;
-pub use greedy2d::greedy_2d;
+pub use greedy1d::{greedy_1d, greedy_1d_with_stop};
+pub use greedy2d::{greedy_2d, greedy_2d_with_stop};
 pub use heuristic1d::{heuristic_1d, heuristic_1d_with_stop, Heuristic1dConfig};
-pub use rowheur::row_heuristic_1d;
+pub use rowheur::{row_heuristic_1d, row_heuristic_1d_with_stop};
 pub use sa2d::{sa_2d, sa_2d_with_stop, Sa2dConfig};

@@ -11,6 +11,7 @@
 //! are static region sums, so the bottleneck region is not re-weighted as
 //! selection proceeds.
 
+use crate::cancel::StopFlag;
 use crate::oned::finish_plan;
 use crate::profit::static_profits;
 use crate::Plan1d;
@@ -23,6 +24,23 @@ use std::time::Instant;
 ///
 /// Returns [`ModelError::NotRowStructured`] for 2D instances.
 pub fn row_heuristic_1d(instance: &Instance) -> Result<Plan1d, ModelError> {
+    row_heuristic_1d_with_stop(instance, StopFlag::NEVER)
+}
+
+/// Like [`row_heuristic_1d`], but polls `stop` in the row-fill and top-up
+/// loops (each step runs the exact-ordering DP, so an unpolled pass is
+/// unbounded in principle — a 4000-candidate fill was observed blowing a
+/// 3 s portfolio deadline by 2 s). On cancellation the characters not yet
+/// placed simply stay off the stencil; the overflow-repair pass still runs,
+/// so the result always validates.
+///
+/// # Errors
+///
+/// Returns [`ModelError::NotRowStructured`] for 2D instances.
+pub fn row_heuristic_1d_with_stop(
+    instance: &Instance,
+    stop: StopFlag<'_>,
+) -> Result<Plan1d, ModelError> {
     let started = Instant::now();
     let num_rows = instance.num_rows()?;
     let row_height = instance
@@ -50,6 +68,10 @@ pub fn row_heuristic_1d(instance: &Instance) -> Result<Plan1d, ModelError> {
     let mut blank: Vec<u64> = vec![0; num_rows];
     let mut leftovers: Vec<usize> = Vec::new();
     for &i in &order {
+        if stop.is_set() {
+            // Deadline: whatever is not yet placed stays off the stencil.
+            break;
+        }
         let c = instance.char(i);
         let e = c.effective_width();
         let s = c.symmetric_blank();
@@ -118,6 +140,9 @@ pub fn row_heuristic_1d(instance: &Instance) -> Result<Plan1d, ModelError> {
     leftovers.extend(dropped);
     leftovers.sort_by(|&a, &b| profits[b].partial_cmp(&profits[a]).unwrap().then(a.cmp(&b)));
     for i in leftovers {
+        if stop.is_set() {
+            break;
+        }
         let id = CharId::from(i);
         'rows: for row in rows.iter_mut() {
             let wid = row.min_width(instance);
@@ -159,6 +184,19 @@ mod tests {
             plan.selection.count() + 2 >= greedy.selection.count(),
             "row heuristic should pack at least comparably"
         );
+    }
+
+    #[test]
+    fn pre_cancelled_plan_is_still_valid() {
+        use std::sync::atomic::AtomicBool;
+        let inst = eblow_gen::generate(&GenConfig::tiny_1d(52));
+        let stop = AtomicBool::new(true);
+        let plan = row_heuristic_1d_with_stop(&inst, StopFlag::new(&stop)).unwrap();
+        plan.placement.validate(&inst).unwrap();
+        assert_eq!(plan.total_time, inst.total_writing_time(&plan.selection));
+        // A cancelled run can never beat the uncancelled one.
+        let full = row_heuristic_1d(&inst).unwrap();
+        assert!(plan.total_time >= full.total_time);
     }
 
     #[test]

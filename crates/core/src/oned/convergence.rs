@@ -8,7 +8,8 @@
 //! this works: the final LP's values cluster near 0, so the residual ILP has
 //! on the order of a hundred binaries even when the LP had thousands.
 
-use super::mkp_lp::{MkpItem, MkpLpSolution};
+use super::mkp_lp::{MkpItem, MkpLpSolution, RowBase};
+use super::oracle::LpOracle;
 use super::rounding::RowState;
 use crate::cancel::StopFlag;
 use crate::profit::RegionTimes;
@@ -56,21 +57,47 @@ pub struct ConvergenceStats {
 /// middle-band variables. Mutates `rows` and `region_times` in place and
 /// returns the set of characters that remain unplaced plus statistics.
 ///
+/// `lp` is the fractional solution Algorithm 1 left behind, aligned with
+/// `items`. Pass `None` to have `oracle` solve it here from the current row
+/// state — the standalone mode that lets Algorithm 2 run even when rounding
+/// ended without an LP (cancelled before the first iteration, or its
+/// backend refused). If that solve fails too, everything stays unplaced.
+///
 /// When `stop` is raised the (cheap) threshold pass still runs, but the
 /// residual branch-and-bound is skipped — its candidates go back to the
 /// unplaced pool, exactly as if the ILP had found nothing in time.
-pub fn fast_ilp_convergence(
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 2's inputs 1:1
+pub fn fast_ilp_convergence<O: LpOracle + ?Sized>(
     instance: &Instance,
     rows: &mut [RowState],
     region_times: &mut RegionTimes,
     items: &[MkpItem],
-    lp: &MkpLpSolution,
+    lp: Option<&MkpLpSolution>,
     config: &ConvergenceConfig,
+    oracle: &O,
     stop: StopFlag<'_>,
 ) -> (Vec<usize>, ConvergenceStats) {
     let w = instance.stencil().width();
     let mut stats = ConvergenceStats::default();
     let mut placed = vec![false; items.len()];
+
+    let solved_here;
+    let lp: &MkpLpSolution = match lp {
+        Some(lp) => lp,
+        None => {
+            let bases: Vec<RowBase> = rows.iter().map(RowState::base).collect();
+            match oracle.solve_lp(items, &bases, w) {
+                Ok(sol) => {
+                    solved_here = sol;
+                    &solved_here
+                }
+                Err(_) => {
+                    let leftover = items.iter().map(|it| it.char_index).collect();
+                    return (leftover, stats);
+                }
+            }
+        }
+    };
 
     // Pass 1: commit every a_kj > Uth (lines 5-8 of Algorithm 2).
     for k in 0..items.len() {
@@ -175,11 +202,14 @@ pub fn fast_ilp_convergence(
             }
         }
 
+        // The stop flag reaches the branch-and-bound itself: Algorithm 2's
+        // residual ILP is the last long-running stage without it, and a
+        // fractional LP backend can hand it hundreds of binaries.
         let sol = BranchBound::new(MilpConfig {
             time_limit: config.time_limit,
             ..Default::default()
         })
-        .solve(&milp, &avars);
+        .solve_cancellable(&milp, &avars, None, stop.as_atomic());
 
         if matches!(
             sol.status,
@@ -212,6 +242,7 @@ pub fn fast_ilp_convergence(
 mod tests {
     use super::*;
     use crate::oned::mkp_lp::{solve_mkp_lp, RowBase};
+    use crate::oned::oracle::CombinatorialOracle;
     use eblow_model::{Character, Stencil};
 
     fn instance(n: usize) -> Instance {
@@ -249,8 +280,9 @@ mod tests {
             &mut rows,
             &mut rt,
             &items,
-            &lp,
+            Some(&lp),
             &Default::default(),
+            &CombinatorialOracle,
             StopFlag::NEVER,
         );
         let placed: usize = rows.iter().map(|r| r.members.len()).sum();
@@ -293,8 +325,9 @@ mod tests {
             &mut rows,
             &mut rt,
             &items,
-            &lp,
+            Some(&lp),
             &Default::default(),
+            &CombinatorialOracle,
             StopFlag::NEVER,
         );
         // Row must stay within the stencil under the true DP width.
@@ -302,6 +335,44 @@ mod tests {
         assert!(width <= 100);
         // 2×26 committed + blanks: exactly one more 26-eff char fits.
         assert!(rows[0].members.len() <= 3);
+    }
+
+    #[test]
+    fn standalone_mode_solves_its_own_lp() {
+        // `lp: None` → Algorithm 2 asks the oracle itself and can still
+        // commit; the outcome must match handing it the same LP explicitly.
+        let inst = instance(8);
+        let mut rt = RegionTimes::new(&inst);
+        let items = items_for(&inst, &rt);
+
+        let mut rows_a = vec![RowState::default(); 2];
+        let mut rt_a = rt.clone();
+        let (left_a, stats_a) = fast_ilp_convergence(
+            &inst,
+            &mut rows_a,
+            &mut rt_a,
+            &items,
+            None,
+            &Default::default(),
+            &CombinatorialOracle,
+            StopFlag::NEVER,
+        );
+
+        let mut rows_b = vec![RowState::default(); 2];
+        let bases: Vec<RowBase> = rows_b.iter().map(RowState::base).collect();
+        let lp = solve_mkp_lp(&items, &bases, 100);
+        let (left_b, stats_b) = fast_ilp_convergence(
+            &inst,
+            &mut rows_b,
+            &mut rt,
+            &items,
+            Some(&lp),
+            &Default::default(),
+            &CombinatorialOracle,
+            StopFlag::NEVER,
+        );
+        assert_eq!(left_a, left_b);
+        assert_eq!(stats_a.ilp_vars, stats_b.ilp_vars);
     }
 
     #[test]
@@ -316,8 +387,9 @@ mod tests {
             &mut rows,
             &mut rt,
             &items,
-            &lp,
+            Some(&lp),
             &Default::default(),
+            &CombinatorialOracle,
             StopFlag::NEVER,
         );
         assert!(leftover.is_empty());

@@ -21,6 +21,9 @@
 //! passes). The result has the vertex shape the paper reports in Fig. 6 —
 //! almost all `a_ij ∈ {0, 1}`, a few fractional at row boundaries.
 
+use crate::profit::RegionTimes;
+use eblow_model::Instance;
+
 /// One unsolved item of the knapsack relaxation.
 #[derive(Debug, Clone, Copy)]
 pub struct MkpItem {
@@ -32,6 +35,60 @@ pub struct MkpItem {
     pub blank: u64,
     /// Dynamic profit (Eqn. (6)); items with non-positive profit stay at 0.
     pub profit: f64,
+}
+
+impl MkpItem {
+    /// One character of `instance` priced with the current region times.
+    pub fn of_char(instance: &Instance, region_times: &RegionTimes, i: usize) -> MkpItem {
+        let c = instance.char(i);
+        MkpItem {
+            char_index: i,
+            eff_width: c.effective_width(),
+            blank: c.symmetric_blank(),
+            profit: region_times.profit(instance, i),
+        }
+    }
+
+    /// The first-iteration item set of the 1D pipeline: every character
+    /// that physically fits a row (the same eligibility filter
+    /// [`Eblow1d`](super::Eblow1d) applies), priced with fresh region
+    /// times. The canonical construction for cross-backend comparisons —
+    /// `eblow-eval agree`, the facade agreement test, and the oracle
+    /// property test all consume this, so they cross-check the *same* LP.
+    ///
+    /// Returns an empty set for non-row-structured instances.
+    pub fn initial_set(instance: &Instance) -> Vec<MkpItem> {
+        let Some(row_height) = instance.stencil().row_height() else {
+            return Vec::new();
+        };
+        let w = instance.stencil().width();
+        let region_times = RegionTimes::new(instance);
+        (0..instance.num_chars())
+            .filter(|&i| {
+                let c = instance.char(i);
+                c.height() <= row_height && c.width() <= w
+            })
+            .map(|i| MkpItem::of_char(instance, &region_times, i))
+            .collect()
+    }
+}
+
+/// Positive-profit item indices in density order (profit per effective µm,
+/// descending; ties break by `char_index`) — the fill order of the greedy
+/// vertex and the run order [`ScaledOracle`](super::ScaledOracle) coarsens
+/// by, kept in one place so the two can never drift apart.
+pub(crate) fn density_order(items: &[MkpItem]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..items.len())
+        .filter(|&k| items[k].profit > 0.0)
+        .collect();
+    order.sort_by(|&a, &b| {
+        let da = items[a].profit / items[a].eff_width.max(1) as f64;
+        let db = items[b].profit / items[b].eff_width.max(1) as f64;
+        db.partial_cmp(&da)
+            .unwrap()
+            .then(items[a].char_index.cmp(&items[b].char_index))
+    });
+    order
 }
 
 /// Per-row state the LP must respect: already-committed usage.
@@ -70,16 +127,17 @@ pub fn solve_mkp_lp(items: &[MkpItem], base: &[RowBase], stencil_w: u64) -> MkpL
     if n == 0 || m == 0 {
         return finish(items, fracs, blanks);
     }
+    // Degenerate capacity: when the committed content (or a stencil
+    // narrower than every committed row's blank — the underflow-prone
+    // `W − B_j` edge) leaves no row any room, the fixed-point passes would
+    // churn through the full density order placing nothing. Return the
+    // empty solution immediately.
+    if (0..m).all(|j| stencil_w <= base[j].eff_used + base[j].max_blank) {
+        return finish(items, fracs, blanks);
+    }
 
     // Density order (profit per effective µm), positive-profit items only.
-    let mut order: Vec<usize> = (0..n).filter(|&k| items[k].profit > 0.0).collect();
-    order.sort_by(|&a, &b| {
-        let da = items[a].profit / items[a].eff_width.max(1) as f64;
-        let db = items[b].profit / items[b].eff_width.max(1) as f64;
-        db.partial_cmp(&da)
-            .unwrap()
-            .then(items[a].char_index.cmp(&items[b].char_index))
-    });
+    let order = density_order(items);
 
     // B_j fixed point: capacities shrink as blank estimates grow.
     for _pass in 0..4 {
@@ -263,6 +321,34 @@ mod tests {
         assert_eq!(sol.blanks, vec![20]);
         assert!((sol.max_frac[0] - 1.0).abs() < 1e-9);
         assert!(sol.max_frac[1] < 0.5);
+    }
+
+    #[test]
+    fn stencil_narrower_than_committed_blanks_returns_empty() {
+        // Regression: W smaller than every committed row's max_blank used
+        // to walk the whole density order against zero-capacity rows; it
+        // must return the empty solution (and certainly never underflow
+        // `W − B_j`).
+        let items: Vec<MkpItem> = (0..50).map(|i| item(i, 10, 2, 5.0)).collect();
+        let base = vec![
+            RowBase {
+                eff_used: 0,
+                max_blank: 30,
+            };
+            3
+        ];
+        let sol = solve_mkp_lp(&items, &base, 20);
+        assert_eq!(sol.objective, 0.0);
+        assert!(sol.fracs.iter().all(Vec::is_empty));
+        assert_eq!(sol.blanks, vec![30, 30, 30]);
+
+        // Fully committed rows (eff_used alone ≥ W) hit the same early out.
+        let base = vec![RowBase {
+            eff_used: 25,
+            max_blank: 0,
+        }];
+        let sol = solve_mkp_lp(&items, &base, 20);
+        assert_eq!(sol.objective, 0.0);
     }
 
     #[test]

@@ -13,12 +13,14 @@
 
 mod convergence;
 mod mkp_lp;
+mod oracle;
 mod post;
 mod refine;
 mod rounding;
 
 pub use convergence::{fast_ilp_convergence, ConvergenceConfig, ConvergenceStats};
 pub use mkp_lp::{solve_mkp_lp, MkpItem, MkpLpSolution, RowBase};
+pub use oracle::{CombinatorialOracle, LpOracle, OracleError, ScaledOracle, SimplexOracle};
 pub use post::{post_insert, post_swap, PostConfig};
 pub use refine::{brute_force_min_width, refine_row};
 pub use rounding::{successive_rounding, RoundingConfig, RoundingOutcome, RoundingTrace, RowState};
@@ -26,6 +28,7 @@ pub use rounding::{successive_rounding, RoundingConfig, RoundingOutcome, Roundin
 use crate::cancel::StopFlag;
 use crate::Plan1d;
 use eblow_model::{Instance, ModelError, Placement1d, Row, Selection};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of the full 1D pipeline.
@@ -48,6 +51,9 @@ pub struct Eblow1dConfig {
     pub post_swap: bool,
     /// Enable the post-insertion stage (disabled in E-BLOW-0).
     pub post_insertion: bool,
+    /// The LP relaxation backend used by Algorithms 1 and 2 (shared across
+    /// racing planner threads; default: [`CombinatorialOracle`]).
+    pub oracle: Arc<dyn LpOracle>,
 }
 
 impl Default for Eblow1dConfig {
@@ -60,6 +66,7 @@ impl Default for Eblow1dConfig {
             fast_ilp: true,
             post_swap: true,
             post_insertion: true,
+            oracle: Arc::new(CombinatorialOracle),
         }
     }
 }
@@ -85,6 +92,12 @@ impl Eblow1dConfig {
     /// The full pipeline (alias of `default`), the paper's E-BLOW-1.
     pub fn eblow1() -> Self {
         Eblow1dConfig::default()
+    }
+
+    /// Replaces the LP relaxation backend (builder style).
+    pub fn with_oracle(mut self, oracle: Arc<dyn LpOracle>) -> Self {
+        self.oracle = oracle;
+        self
     }
 }
 
@@ -135,21 +148,45 @@ impl Eblow1d {
             })
             .collect();
 
-        // Stage 1+2: simplified LP + successive rounding (Algorithm 1).
-        let mut outcome =
-            successive_rounding(instance, &eligible, num_rows, &self.config.rounding, stop);
+        // Stage 1+2: simplified LP + successive rounding (Algorithm 1),
+        // with the configured LP backend.
+        let oracle = self.config.oracle.as_ref();
+        let mut outcome = successive_rounding(
+            instance,
+            &eligible,
+            num_rows,
+            &self.config.rounding,
+            oracle,
+            stop,
+        );
 
         // Stage 3: fast ILP convergence (Algorithm 2), E-BLOW-1 only.
         if self.config.fast_ilp && !stop.is_set() {
-            if let Some(lp) = outcome.last_lp.take() {
-                let items = std::mem::take(&mut outcome.last_items);
+            let lp = outcome.last_lp.take();
+            let items = if lp.is_some() {
+                std::mem::take(&mut outcome.last_items)
+            } else {
+                // Rounding ended without an LP (its backend refused or
+                // failed on the very first iteration): price the unsolved
+                // set fresh and let Algorithm 2 ask the oracle itself — a
+                // backend that fails transiently still gets one more shot,
+                // and a deterministic failure degrades gracefully inside
+                // `fast_ilp_convergence`.
+                outcome
+                    .unsolved
+                    .iter()
+                    .map(|&i| MkpItem::of_char(instance, &outcome.region_times, i))
+                    .collect()
+            };
+            if !items.is_empty() {
                 let (_leftover, _stats) = fast_ilp_convergence(
                     instance,
                     &mut outcome.rows,
                     &mut outcome.region_times,
                     &items,
-                    &lp,
+                    lp.as_ref(),
                     &self.config.convergence,
+                    oracle,
                     stop,
                 );
             }
@@ -161,8 +198,17 @@ impl Eblow1d {
         // any row whose true (asymmetric) width exceeds the stencil.
         let mut rows: Vec<Row> = Vec::with_capacity(num_rows);
         for rs in &outcome.rows {
-            let (mut order, mut width) =
-                refine_row(instance, &rs.members, self.config.refine_threshold);
+            // Refinement cannot be skipped (only ordered rows of verified
+            // width validate), but under a raised stop flag it runs with a
+            // minimal DP beam: same feasibility guarantee — the width is
+            // checked and repaired below either way — at a fraction of the
+            // cost, so a deadline doesn't stall on full rows.
+            let beam = if stop.is_set() {
+                2
+            } else {
+                self.config.refine_threshold
+            };
+            let (mut order, mut width) = refine_row(instance, &rs.members, beam);
             while width > w && !order.is_empty() {
                 // Drop the member with the lowest dynamic profit.
                 let (drop_pos, _) = order
@@ -177,8 +223,7 @@ impl Eblow1d {
                     .expect("non-empty order");
                 let dropped = order.remove(drop_pos);
                 region_times.deselect(instance, dropped.index());
-                let (new_order, new_width) =
-                    refine_row(instance, &order, self.config.refine_threshold);
+                let (new_order, new_width) = refine_row(instance, &order, beam);
                 order = new_order;
                 width = new_width;
             }
@@ -188,7 +233,8 @@ impl Eblow1d {
         let mut selection = placement.selection(instance.num_chars());
 
         // Stage 5: post-swap (skipped when cancelled — the plan is already
-        // valid at this point, the post stages only improve it).
+        // valid at this point, the post stages only improve it; mid-stage
+        // cancellation is handled inside via per-candidate polls).
         if self.config.post_swap && !stop.is_set() {
             post_swap(
                 instance,
@@ -196,6 +242,7 @@ impl Eblow1d {
                 &mut selection,
                 &mut region_times,
                 &self.config.post,
+                stop,
             );
         }
 
@@ -207,6 +254,7 @@ impl Eblow1d {
                 &mut selection,
                 &mut region_times,
                 &self.config.post,
+                stop,
             );
         }
 
@@ -277,6 +325,36 @@ mod tests {
             }
         }
         assert!(wins >= 3, "E-BLOW-1 should usually match or beat E-BLOW-0");
+    }
+
+    #[test]
+    fn simplex_backend_plans_validly() {
+        let inst = eblow_gen::generate(&GenConfig::tiny_1d(2));
+        let cfg = Eblow1dConfig::default().with_oracle(Arc::new(SimplexOracle::default()));
+        let plan = Eblow1d::new(cfg).plan(&inst).unwrap();
+        plan.placement.validate(&inst).unwrap();
+        assert_eq!(plan.total_time, inst.total_writing_time(&plan.selection));
+        // Same seed through the default backend: both must be real plans,
+        // in the same quality neighbourhood (the relaxations differ only in
+        // the B_j slack, and rounding re-verifies every commit).
+        let combinatorial = Eblow1d::default().plan(&inst).unwrap();
+        assert!(plan.selection.count() > 0);
+        assert!(
+            (plan.total_time as f64) <= combinatorial.total_time as f64 * 1.5,
+            "simplex-backed plan {} far off combinatorial {}",
+            plan.total_time,
+            combinatorial.total_time
+        );
+    }
+
+    #[test]
+    fn scaled_backend_plans_validly() {
+        let inst = eblow_gen::generate(&GenConfig::tiny_1d(4));
+        let cfg = Eblow1dConfig::default()
+            .with_oracle(Arc::new(ScaledOracle::new(SimplexOracle::default(), 12)));
+        let plan = Eblow1d::new(cfg).plan(&inst).unwrap();
+        plan.placement.validate(&inst).unwrap();
+        assert!(plan.selection.count() > 0);
     }
 
     #[test]

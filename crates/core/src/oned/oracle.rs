@@ -1,0 +1,643 @@
+//! Pluggable LP oracle backends for the simplified 1D formulation (4).
+//!
+//! The successive-rounding loop (Algorithm 1) and fast ILP convergence
+//! (Algorithm 2) only need *some* solver for the LP relaxation of
+//! formulation (4); historically that solver was the structure-exploiting
+//! combinatorial fixed point hard-wired in [`mkp_lp`](super::mkp_lp). The
+//! [`LpOracle`] trait turns the oracle into an interchangeable backend, the
+//! shape the LP-modeling ecosystem uses (a problem IR handed to pluggable
+//! solvers), so the dense simplex in `eblow-lp` — and eventually external
+//! solvers — can be raced and cross-checked against the combinatorial
+//! solve.
+//!
+//! Three backends ship today:
+//!
+//! * [`CombinatorialOracle`] — the default: density-greedy multiple-knapsack
+//!   fill inside a `B_j` fixed point (exact for formulation (5), the paper's
+//!   Lemma 3-4 approximation of (4)). Microsecond-scale at MCC size.
+//! * [`SimplexOracle`] — lowers formulation (4) *with `B_j` as a decision
+//!   variable* onto [`eblow_lp::LpProblem`] and solves it with the dense
+//!   two-phase simplex. Exact for (4), but the tableau is dense in
+//!   `items × rows`, so it refuses instances above a cell cutoff with an
+//!   explicit [`OracleError::TooLarge`].
+//! * [`ScaledOracle`] — a wrapper that coarsens the width axis of huge
+//!   instances (density-ordered runs of items are merged into super-items of
+//!   summed width) before delegating, then expands the coarse fractions back
+//!   onto the original items and repairs row feasibility. This keeps a
+//!   size-limited inner backend usable far beyond its cutoff.
+//!
+//! ## Backend agreement
+//!
+//! On *blank-free* items the combinatorial and simplex backends solve the
+//! identical fractional multiple knapsack, whose optimum is the aggregate
+//! density-greedy fill — their objectives agree to floating-point tolerance
+//! (property-tested in `tests/proptest_core.rs`). With heterogeneous blanks
+//! the simplex solves the *true* (4), where `B_j ≥ s_i · a_ij` lets a
+//! fractionally-assigned character pay only a fraction of its blank; the
+//! combinatorial fixed point charges the full blank (the Lemma 3-4
+//! approximation). The simplex objective therefore sits at or slightly
+//! above the combinatorial one; on the reference instances the gap is a few
+//! percent (checked by `eblow-eval agree`).
+
+use super::mkp_lp::{solve_mkp_lp, MkpItem, MkpLpSolution, RowBase};
+use eblow_lp::{LpProblem, LpStatus, Simplex, SimplexConfig};
+use std::fmt;
+
+/// Why an oracle declined or failed to solve an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// The instance exceeds the backend's size cutoff (`items × rows`
+    /// cells). Callers should fall back to a scalable backend — the engine
+    /// registry encodes this in `Strategy::supports`.
+    TooLarge {
+        /// `items.len() * base.len()` of the refused instance.
+        cells: usize,
+        /// The backend's configured cutoff.
+        limit: usize,
+    },
+    /// The backend ran but did not produce an optimal solution (e.g. the
+    /// simplex hit its pivot limit).
+    Failed(String),
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::TooLarge { cells, limit } => {
+                write!(f, "instance too large for backend: {cells} cells > {limit}")
+            }
+            OracleError::Failed(reason) => write!(f, "oracle failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// A solver for the LP relaxation of formulation (4).
+///
+/// Input: the unsolved [`MkpItem`]s, the committed per-row state, and the
+/// stencil width; output: a fractional [`MkpLpSolution`]. Implementations
+/// must be `Send + Sync` (one oracle instance is shared across racing
+/// planner threads) and `Debug` (configs embedding an oracle stay
+/// debuggable).
+pub trait LpOracle: fmt::Debug + Send + Sync {
+    /// Stable backend name (registry suffix, report label).
+    fn name(&self) -> &'static str;
+
+    /// Upper bound on `items × rows` cells this backend will attempt, if
+    /// any. The engine uses this to gate `Strategy::supports` so a
+    /// size-limited backend never enters a race it must refuse.
+    fn max_cells(&self) -> Option<usize> {
+        None
+    }
+
+    /// Solves the LP relaxation for `items` against rows of width
+    /// `stencil_w` with committed content `base`.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::TooLarge`] when the instance exceeds
+    /// [`LpOracle::max_cells`]; [`OracleError::Failed`] when the backend ran
+    /// but found no optimal solution.
+    fn solve_lp(
+        &self,
+        items: &[MkpItem],
+        base: &[RowBase],
+        stencil_w: u64,
+    ) -> Result<MkpLpSolution, OracleError>;
+}
+
+/// Builds the all-zero solution over `items` (nothing assigned).
+fn empty_solution(items: &[MkpItem], base: &[RowBase]) -> MkpLpSolution {
+    MkpLpSolution {
+        fracs: vec![Vec::new(); items.len()],
+        max_frac: vec![0.0; items.len()],
+        argmax_row: vec![0; items.len()],
+        objective: 0.0,
+        blanks: base.iter().map(|b| b.max_blank).collect(),
+    }
+}
+
+/// Recomputes the derived fields (`max_frac`, `argmax_row`, `objective`)
+/// from `fracs`.
+fn derive(items: &[MkpItem], fracs: Vec<Vec<(usize, f64)>>, blanks: Vec<u64>) -> MkpLpSolution {
+    let n = items.len();
+    let mut max_frac = vec![0.0f64; n];
+    let mut argmax_row = vec![0usize; n];
+    let mut objective = 0.0;
+    for k in 0..n {
+        for &(j, f) in &fracs[k] {
+            objective += items[k].profit * f;
+            if f > max_frac[k] {
+                max_frac[k] = f;
+                argmax_row[k] = j;
+            }
+        }
+    }
+    MkpLpSolution {
+        fracs,
+        max_frac,
+        argmax_row,
+        objective,
+        blanks,
+    }
+}
+
+/// The default backend: the structure-exploiting density-greedy fixed point
+/// of [`solve_mkp_lp`]. Never refuses an instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CombinatorialOracle;
+
+impl LpOracle for CombinatorialOracle {
+    fn name(&self) -> &'static str {
+        "combinatorial"
+    }
+
+    fn solve_lp(
+        &self,
+        items: &[MkpItem],
+        base: &[RowBase],
+        stencil_w: u64,
+    ) -> Result<MkpLpSolution, OracleError> {
+        Ok(solve_mkp_lp(items, base, stencil_w))
+    }
+}
+
+/// Dense-simplex backend: formulation (4) lowered onto
+/// [`eblow_lp::LpProblem`] with `a_ij ∈ [0, 1]` and per-row blank variables
+/// `B_j`, solved exactly by the two-phase simplex.
+///
+/// The tableau is dense in `items × rows`, so instances above
+/// [`SimplexOracle::max_cells`] are refused with
+/// [`OracleError::TooLarge`] — wrap in a [`ScaledOracle`] (or use the
+/// combinatorial backend) beyond that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimplexOracle {
+    /// Maximum `items × rows` cells accepted (default 2 500: ≈ milliseconds
+    /// per solve; the dense tableau grows quadratically past this).
+    pub max_cells: usize,
+}
+
+impl Default for SimplexOracle {
+    fn default() -> Self {
+        SimplexOracle { max_cells: 2_500 }
+    }
+}
+
+impl LpOracle for SimplexOracle {
+    fn name(&self) -> &'static str {
+        "simplex"
+    }
+
+    fn max_cells(&self) -> Option<usize> {
+        Some(self.max_cells)
+    }
+
+    fn solve_lp(
+        &self,
+        items: &[MkpItem],
+        base: &[RowBase],
+        stencil_w: u64,
+    ) -> Result<MkpLpSolution, OracleError> {
+        let cells = items.len() * base.len();
+        if cells > self.max_cells {
+            return Err(OracleError::TooLarge {
+                cells,
+                limit: self.max_cells,
+            });
+        }
+
+        // Rows with no item capacity left (committed width plus committed
+        // blank already at or beyond W) carry no variables; items with
+        // non-positive profit stay at 0, as in the combinatorial backend.
+        let open: Vec<usize> = (0..base.len())
+            .filter(|&j| stencil_w.saturating_sub(base[j].eff_used) > base[j].max_blank)
+            .collect();
+        let active: Vec<usize> = (0..items.len())
+            .filter(|&k| items[k].profit > 0.0)
+            .collect();
+        if open.is_empty() || active.is_empty() {
+            return Ok(empty_solution(items, base));
+        }
+        let max_item_blank = active.iter().map(|&k| items[k].blank).max().unwrap_or(0);
+
+        let mut lp = LpProblem::maximize();
+        // a_kj ∈ [0, 1] with objective profit_k, for active items × open rows.
+        let avars: Vec<Vec<eblow_lp::VarId>> = active
+            .iter()
+            .map(|&k| {
+                open.iter()
+                    .map(|_| lp.add_var(0.0, 1.0, items[k].profit))
+                    .collect()
+            })
+            .collect();
+        // B_j ∈ [committed max blank, max candidate blank].
+        let bvars: Vec<eblow_lp::VarId> = open
+            .iter()
+            .map(|&j| {
+                let lb = base[j].max_blank as f64;
+                lp.add_var(lb, lb.max(max_item_blank as f64), 0.0)
+            })
+            .collect();
+        // (4a): Σ_k w̃_k a_kj + B_j ≤ W − eff_used_j per open row.
+        for (oj, &j) in open.iter().enumerate() {
+            let mut terms: Vec<(eblow_lp::VarId, f64)> = active
+                .iter()
+                .enumerate()
+                .map(|(ak, &k)| (avars[ak][oj], items[k].eff_width.max(1) as f64))
+                .collect();
+            terms.push((bvars[oj], 1.0));
+            lp.add_constraint(
+                &terms,
+                eblow_lp::Relation::Le,
+                (stencil_w - base[j].eff_used) as f64,
+            );
+        }
+        // (4b): B_j ≥ s_k a_kj — redundant when s_k is already within the
+        // committed blank, so only the binding pairs enter the tableau.
+        for (ak, &k) in active.iter().enumerate() {
+            for (oj, &j) in open.iter().enumerate() {
+                if items[k].blank > base[j].max_blank {
+                    lp.add_constraint(
+                        &[(bvars[oj], 1.0), (avars[ak][oj], -(items[k].blank as f64))],
+                        eblow_lp::Relation::Ge,
+                        0.0,
+                    );
+                }
+            }
+        }
+        // (4c): Σ_j a_kj ≤ 1 per item (the [0,1] bound covers single rows).
+        if open.len() > 1 {
+            for row in &avars {
+                let terms: Vec<_> = row.iter().map(|&v| (v, 1.0)).collect();
+                lp.add_constraint(&terms, eblow_lp::Relation::Le, 1.0);
+            }
+        }
+
+        // Bound the pivot budget well below the solver's size-derived
+        // default: a degenerate instance must cost one bounded solve (the
+        // caller breaks off on `Failed`), not stall a whole rounding loop —
+        // this is an inner-loop oracle, not a one-shot solve.
+        let pivot_cap = 12 * (lp.num_vars() + lp.num_rows()) + 500;
+        let sol = Simplex::new(SimplexConfig {
+            max_iters: Some(pivot_cap),
+            ..Default::default()
+        })
+        .solve(&lp);
+        if sol.status != LpStatus::Optimal {
+            return Err(OracleError::Failed(format!(
+                "simplex terminated with status {}",
+                sol.status
+            )));
+        }
+
+        let mut fracs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); items.len()];
+        for (ak, &k) in active.iter().enumerate() {
+            for (oj, &j) in open.iter().enumerate() {
+                let v = sol.values[avars[ak][oj].index()].clamp(0.0, 1.0);
+                if v > 1e-9 {
+                    fracs[k].push((j, v));
+                }
+            }
+        }
+        let mut blanks: Vec<u64> = base.iter().map(|b| b.max_blank).collect();
+        for (oj, &j) in open.iter().enumerate() {
+            // The relaxation may hold B_j *below* the max blank of
+            // fractionally-assigned items — that slack is exactly what
+            // distinguishes (4) from the Lemma 3-4 approximation. Floor the
+            // continuous value so `row load ≤ W − eff_used − blanks[j]`
+            // stays true after integerization.
+            blanks[j] = blanks[j].max(sol.values[bvars[oj].index()].floor() as u64);
+        }
+        Ok(derive(items, fracs, blanks))
+    }
+}
+
+/// Width-coarsening wrapper: merges density-ordered runs of items into
+/// super-items of summed effective width (blank: the run maximum; profit:
+/// the run sum) until at most `max_items` remain, delegates the coarse
+/// instance to the inner backend, then expands the coarse fractions back
+/// onto the original items in density order and repairs row feasibility
+/// under the true (finer) blanks.
+///
+/// Coarsening is conservative — super-item blanks upper-bound their
+/// members' — so the expanded solution is feasible up to rounding; the
+/// repair pass clips the rare overflow. The price is optimality: a
+/// super-item is filled as a unit, so the coarse LP cannot split a run at
+/// the exact profit-maximal boundary. Use it to push a size-limited backend
+/// (the dense simplex) to instances far beyond its cutoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaledOracle<O> {
+    inner: O,
+    /// Coarsen whenever the item count exceeds this (default 64).
+    pub max_items: usize,
+}
+
+impl<O: LpOracle> ScaledOracle<O> {
+    /// Wraps `inner`, coarsening instances with more than `max_items` items.
+    pub fn new(inner: O, max_items: usize) -> Self {
+        ScaledOracle {
+            inner,
+            max_items: max_items.max(1),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl Default for ScaledOracle<SimplexOracle> {
+    fn default() -> Self {
+        ScaledOracle::new(SimplexOracle::default(), 64)
+    }
+}
+
+impl<O: LpOracle> LpOracle for ScaledOracle<O> {
+    fn name(&self) -> &'static str {
+        "scaled"
+    }
+
+    // No cutoff: coarsening bounds what the inner backend sees. (The inner
+    // cutoff can still trip when the *row* count alone is huge; that error
+    // propagates.)
+
+    fn solve_lp(
+        &self,
+        items: &[MkpItem],
+        base: &[RowBase],
+        stencil_w: u64,
+    ) -> Result<MkpLpSolution, OracleError> {
+        if items.len() <= self.max_items {
+            return self.inner.solve_lp(items, base, stencil_w);
+        }
+
+        // The shared density order: runs coarsen along exactly the fill
+        // order the combinatorial vertex uses, so expansion stays aligned
+        // with the inner solve.
+        let order = super::mkp_lp::density_order(items);
+        if order.is_empty() {
+            return Ok(empty_solution(items, base));
+        }
+
+        // Merge consecutive runs into at most `max_items` super-items.
+        let run_len = order.len().div_ceil(self.max_items);
+        let runs: Vec<&[usize]> = order.chunks(run_len).collect();
+        let coarse: Vec<MkpItem> = runs
+            .iter()
+            .enumerate()
+            .map(|(g, run)| MkpItem {
+                char_index: g,
+                eff_width: run.iter().map(|&k| items[k].eff_width.max(1)).sum(),
+                blank: run.iter().map(|&k| items[k].blank).max().unwrap_or(0),
+                profit: run.iter().map(|&k| items[k].profit).sum(),
+            })
+            .collect();
+        let coarse_sol = self.inner.solve_lp(&coarse, base, stencil_w)?;
+
+        // Expand: each super-item's per-row capacity share is refilled with
+        // its members in density order.
+        let mut fracs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); items.len()];
+        for (g, run) in runs.iter().enumerate() {
+            let gw = coarse[g].eff_width.max(1) as f64;
+            let mut member = 0usize;
+            let mut remaining = 1.0f64;
+            for &(j, f) in &coarse_sol.fracs[g] {
+                let mut room = f * gw;
+                while room > 1e-9 && member < run.len() {
+                    let k = run[member];
+                    let w = items[k].eff_width.max(1) as f64;
+                    let take = remaining.min(room / w);
+                    if take > 1e-12 {
+                        fracs[k].push((j, take));
+                        room -= take * w;
+                        remaining -= take;
+                    }
+                    if remaining <= 1e-12 {
+                        member += 1;
+                        remaining = 1.0;
+                    } else {
+                        break; // row share exhausted; next (j, f)
+                    }
+                }
+            }
+        }
+
+        // Repair: recompute blanks from the *actual* assigned members, then
+        // clip any row whose load exceeds its capacity under those blanks.
+        let mut blanks: Vec<u64> = base.iter().map(|b| b.max_blank).collect();
+        let mut load = vec![0.0f64; base.len()];
+        for (k, fr) in fracs.iter().enumerate() {
+            for &(j, f) in fr {
+                blanks[j] = blanks[j].max(items[k].blank);
+                load[j] += f * items[k].eff_width.max(1) as f64;
+            }
+        }
+        for j in 0..base.len() {
+            let cap = stencil_w.saturating_sub(base[j].eff_used + blanks[j]) as f64;
+            if load[j] > cap + 1e-9 {
+                let scale = if load[j] > 0.0 {
+                    (cap / load[j]).max(0.0)
+                } else {
+                    0.0
+                };
+                for fr in fracs.iter_mut() {
+                    for t in fr.iter_mut().filter(|t| t.0 == j) {
+                        t.1 *= scale;
+                    }
+                }
+            }
+        }
+        for fr in fracs.iter_mut() {
+            fr.retain(|&(_, f)| f > 1e-12);
+        }
+        Ok(derive(items, fracs, blanks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(i: usize, eff: u64, blank: u64, profit: f64) -> MkpItem {
+        MkpItem {
+            char_index: i,
+            eff_width: eff,
+            blank,
+            profit,
+        }
+    }
+
+    fn feasible(items: &[MkpItem], base: &[RowBase], w: u64, sol: &MkpLpSolution) -> bool {
+        let mut load = vec![0.0f64; base.len()];
+        for (k, fr) in sol.fracs.iter().enumerate() {
+            let total: f64 = fr.iter().map(|&(_, f)| f).sum();
+            if total > 1.0 + 1e-9 {
+                return false;
+            }
+            for &(j, f) in fr {
+                load[j] += f * items[k].eff_width as f64;
+            }
+        }
+        (0..base.len())
+            .all(|j| load[j] <= w.saturating_sub(base[j].eff_used + sol.blanks[j]) as f64 + 1e-6)
+    }
+
+    #[test]
+    fn backends_agree_on_blank_free_items() {
+        // Zero blanks ⇒ (4) is a pure fractional MKP; both backends must
+        // find the aggregate density-greedy optimum.
+        let items: Vec<MkpItem> = (0..12)
+            .map(|i| {
+                item(
+                    i,
+                    10 + (i as u64 * 7) % 25,
+                    0,
+                    5.0 + (i as f64 * 13.0) % 40.0,
+                )
+            })
+            .collect();
+        let base = vec![RowBase::default(); 3];
+        let comb = CombinatorialOracle.solve_lp(&items, &base, 70).unwrap();
+        let simp = SimplexOracle::default()
+            .solve_lp(&items, &base, 70)
+            .unwrap();
+        let scale = comb.objective.abs().max(1.0);
+        assert!(
+            (comb.objective - simp.objective).abs() <= 1e-6 * scale,
+            "combinatorial {} vs simplex {}",
+            comb.objective,
+            simp.objective
+        );
+        assert!(feasible(&items, &base, 70, &comb));
+        assert!(feasible(&items, &base, 70, &simp));
+    }
+
+    #[test]
+    fn simplex_exploits_fractional_blank_slack() {
+        // The motivating gap: (4) lets B absorb only s·a, so the simplex
+        // may beat the full-blank fixed point — never the other way.
+        let items = vec![item(0, 30, 20, 100.0), item(1, 30, 2, 99.0)];
+        let base = vec![RowBase::default()];
+        let comb = CombinatorialOracle.solve_lp(&items, &base, 62).unwrap();
+        let simp = SimplexOracle::default()
+            .solve_lp(&items, &base, 62)
+            .unwrap();
+        assert!(
+            simp.objective >= comb.objective - 1e-9,
+            "simplex {} below combinatorial {}",
+            simp.objective,
+            comb.objective
+        );
+        assert!(feasible(&items, &base, 62, &simp));
+    }
+
+    #[test]
+    fn simplex_refuses_oversized_instances() {
+        let items: Vec<MkpItem> = (0..100).map(|i| item(i, 10, 2, 1.0)).collect();
+        let base = vec![RowBase::default(); 40];
+        let err = SimplexOracle { max_cells: 1000 }
+            .solve_lp(&items, &base, 100)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            OracleError::TooLarge {
+                cells: 4000,
+                limit: 1000
+            }
+        );
+        assert_eq!(SimplexOracle { max_cells: 1000 }.max_cells(), Some(1000));
+    }
+
+    #[test]
+    fn simplex_respects_committed_rows() {
+        // Mirrors the combinatorial `respects_committed_usage` case.
+        let items = vec![item(0, 40, 6, 10.0)];
+        let base = vec![RowBase {
+            eff_used: 70,
+            max_blank: 8,
+        }];
+        let sol = SimplexOracle::default()
+            .solve_lp(&items, &base, 100)
+            .unwrap();
+        // cap = 100 − 70 − 8 = 22 < 40 → only a fraction fits.
+        assert!(sol.max_frac[0] > 0.0 && sol.max_frac[0] < 1.0);
+        assert!(feasible(&items, &base, 100, &sol));
+    }
+
+    #[test]
+    fn simplex_handles_saturated_rows() {
+        // A row whose committed content already exceeds W must get nothing
+        // (and must not underflow the W − eff_used arithmetic).
+        let items = vec![item(0, 10, 2, 5.0)];
+        let base = vec![
+            RowBase {
+                eff_used: 150,
+                max_blank: 4,
+            },
+            RowBase::default(),
+        ];
+        let sol = SimplexOracle::default()
+            .solve_lp(&items, &base, 100)
+            .unwrap();
+        assert!(sol.fracs[0].iter().all(|&(j, _)| j == 1));
+        assert!((sol.max_frac[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_oracle_delegates_small_instances() {
+        let items: Vec<MkpItem> = (0..8).map(|i| item(i, 20, 3, 10.0 + i as f64)).collect();
+        let base = vec![RowBase::default(); 2];
+        let direct = SimplexOracle::default()
+            .solve_lp(&items, &base, 100)
+            .unwrap();
+        let scaled = ScaledOracle::new(SimplexOracle::default(), 64)
+            .solve_lp(&items, &base, 100)
+            .unwrap();
+        assert!((direct.objective - scaled.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_oracle_coarsens_and_stays_feasible() {
+        // 200 items through a 16-super-item coarsening: the expansion must
+        // stay row-feasible and capture most of the uncoarsened value.
+        let items: Vec<MkpItem> = (0..200)
+            .map(|i| {
+                item(
+                    i,
+                    8 + (i as u64 * 5) % 30,
+                    1 + (i as u64) % 7,
+                    1.0 + (i as f64 * 17.0) % 50.0,
+                )
+            })
+            .collect();
+        let base = vec![RowBase::default(); 4];
+        let w = 300u64;
+        let scaled = ScaledOracle::new(CombinatorialOracle, 16)
+            .solve_lp(&items, &base, w)
+            .unwrap();
+        let full = CombinatorialOracle.solve_lp(&items, &base, w).unwrap();
+        assert!(feasible(&items, &base, w, &scaled));
+        assert!(
+            scaled.objective >= 0.8 * full.objective,
+            "coarse {} lost too much vs full {}",
+            scaled.objective,
+            full.objective
+        );
+    }
+
+    #[test]
+    fn oracle_names_and_errors_display() {
+        assert_eq!(CombinatorialOracle.name(), "combinatorial");
+        assert_eq!(SimplexOracle::default().name(), "simplex");
+        assert_eq!(ScaledOracle::<SimplexOracle>::default().name(), "scaled");
+        assert!(CombinatorialOracle.max_cells().is_none());
+        let msg = OracleError::TooLarge {
+            cells: 10,
+            limit: 5,
+        }
+        .to_string();
+        assert!(msg.contains("10") && msg.contains('5'));
+    }
+}

@@ -11,6 +11,7 @@
 //!   candidate characters and rows with at most one insertion per row per
 //!   round (paper Fig. 8), solved by the Hungarian algorithm.
 
+use crate::cancel::StopFlag;
 use crate::profit::RegionTimes;
 use eblow_matching::max_weight_matching;
 use eblow_model::{CharId, Instance, Placement1d, Selection};
@@ -58,12 +59,17 @@ fn width_with_replacement(
 
 /// Post-swap: greedy improving exchanges between unselected characters and
 /// placed ones. Returns the number of swaps applied.
+///
+/// Polls `stop` per candidate (each candidate scans every placed position,
+/// the expensive unit) and returns the improvements made so far when it is
+/// raised — the placement is valid after every committed swap.
 pub fn post_swap(
     instance: &Instance,
     placement: &mut Placement1d,
     selection: &mut Selection,
     region_times: &mut RegionTimes,
     config: &PostConfig,
+    stop: StopFlag<'_>,
 ) -> usize {
     let w = instance.stencil().width();
     let row_height = match instance.stencil().row_height() {
@@ -88,6 +94,9 @@ pub fn post_swap(
 
         let mut any = false;
         for u in outsiders {
+            if stop.is_set() {
+                return swaps;
+            }
             // Scan placed characters, least valuable first.
             let mut placed: Vec<(usize, usize)> = Vec::new(); // (row, pos)
             for (r, row) in placement.rows().iter().enumerate() {
@@ -131,12 +140,16 @@ pub fn post_swap(
 /// Post-insertion: maximum-weight matching of candidate characters to rows,
 /// at most one insertion per row per round, inserting at the width-minimal
 /// position (middle positions allowed). Returns insertions applied.
+///
+/// Polls `stop` per matching round and returns early when it is raised;
+/// completed rounds are already applied and valid.
 pub fn post_insert(
     instance: &Instance,
     placement: &mut Placement1d,
     selection: &mut Selection,
     region_times: &mut RegionTimes,
     config: &PostConfig,
+    stop: StopFlag<'_>,
 ) -> usize {
     let w = instance.stencil().width();
     let row_height = match instance.stencil().row_height() {
@@ -145,6 +158,9 @@ pub fn post_insert(
     };
     let mut inserted = 0usize;
     for _round in 0..config.insert_rounds {
+        if stop.is_set() {
+            return inserted;
+        }
         let mut candidates: Vec<usize> = selection
             .iter_unselected()
             .filter(|&i| {
@@ -261,6 +277,7 @@ mod tests {
             &mut selection,
             &mut rt,
             &Default::default(),
+            StopFlag::NEVER,
         );
         assert!(swaps >= 1);
         assert!(
@@ -289,6 +306,7 @@ mod tests {
             &mut selection,
             &mut rt,
             &Default::default(),
+            StopFlag::NEVER,
         );
         assert!(ins >= 2, "both rows have room for insertions, got {ins}");
         assert!(placement.validate(&inst).is_ok());
@@ -311,6 +329,7 @@ mod tests {
             &mut selection,
             &mut rt,
             &Default::default(),
+            StopFlag::NEVER,
         );
         assert_eq!(ins, 0);
         assert!(placement.validate(&inst).is_ok());
@@ -344,6 +363,7 @@ mod tests {
             &mut selection,
             &mut rt,
             &Default::default(),
+            StopFlag::NEVER,
         );
         assert_eq!(ins, 1);
         assert_eq!(placement.rows()[0].order()[1], CharId(2), "middle position");

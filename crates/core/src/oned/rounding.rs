@@ -14,7 +14,8 @@
 //! the paper's gradual schedule: profits are re-derived from the updated
 //! region times between batches, exactly as intended by Algorithm 1.
 
-use super::mkp_lp::{solve_mkp_lp, MkpItem, MkpLpSolution, RowBase};
+use super::mkp_lp::{MkpItem, MkpLpSolution, RowBase};
+use super::oracle::LpOracle;
 use crate::cancel::StopFlag;
 use crate::profit::RegionTimes;
 use eblow_model::{CharId, Instance};
@@ -29,6 +30,9 @@ pub struct RoundingTrace {
     /// Histogram of the last LP's per-item `max_j a_ij` values in ten
     /// buckets `[0.0,0.1) … [0.9,1.0]` (Fig. 6).
     pub last_lp_histogram: [usize; 10],
+    /// LP oracle refusals/failures that ended the loop early (0 for the
+    /// default combinatorial backend, which never fails).
+    pub oracle_errors: usize,
 }
 
 /// Mutable state of one stencil row during planning.
@@ -136,19 +140,23 @@ pub struct RoundingOutcome {
     pub trace: RoundingTrace,
 }
 
-/// Runs Algorithm 1 over the eligible characters.
+/// Runs Algorithm 1 over the eligible characters, using `oracle` as the
+/// backend for every LP relaxation solve (see [`LpOracle`]).
 ///
 /// `eligible` are candidate indices that physically fit a row (callers
 /// exclude too-tall/too-wide characters up front).
 ///
 /// The loop polls `stop` before every LP iteration; on cancellation it
 /// returns the commitments made so far (still a consistent
-/// [`RoundingOutcome`], just with a larger unsolved set).
-pub fn successive_rounding(
+/// [`RoundingOutcome`], just with a larger unsolved set). An oracle
+/// refusal/failure ends the loop the same graceful way, recorded in
+/// [`RoundingTrace::oracle_errors`].
+pub fn successive_rounding<O: LpOracle + ?Sized>(
     instance: &Instance,
     eligible: &[usize],
     num_rows: usize,
     config: &RoundingConfig,
+    oracle: &O,
     stop: StopFlag<'_>,
 ) -> RoundingOutcome {
     let w = instance.stencil().width();
@@ -168,18 +176,19 @@ pub fn successive_rounding(
         // Dynamic profits from the current partial selection (Eqn. 6).
         let items: Vec<MkpItem> = unsolved
             .iter()
-            .map(|&i| {
-                let c = instance.char(i);
-                MkpItem {
-                    char_index: i,
-                    eff_width: c.effective_width(),
-                    blank: c.symmetric_blank(),
-                    profit: region_times.profit(instance, i),
-                }
-            })
+            .map(|&i| MkpItem::of_char(instance, &region_times, i))
             .collect();
         let bases: Vec<RowBase> = rows.iter().map(RowState::base).collect();
-        let lp = solve_mkp_lp(&items, &bases, w);
+        let lp = match oracle.solve_lp(&items, &bases, w) {
+            Ok(lp) => lp,
+            Err(_) => {
+                // The previous iteration's `last_lp`/`last_items` stay
+                // aligned with `unsolved`; stopping here is the cheapest
+                // valid completion.
+                trace.oracle_errors += 1;
+                break;
+            }
+        };
 
         // Candidates: a_kj ≥ thinv · apq, highest first.
         let apq = lp.max_frac.iter().copied().fold(0.0f64, f64::max);
@@ -212,6 +221,12 @@ pub fn successive_rounding(
         let mut committed = vec![false; items.len()];
         let mut committed_count = 0usize;
         for &k in &candidates {
+            // The exact admission test below re-runs the ordering DP, so a
+            // large candidate batch is the longest stretch between
+            // iteration-boundary polls — poll per commit too.
+            if stop.is_set() {
+                break;
+            }
             let item = items[k];
             let id = CharId::from(item.char_index);
             let j = lp.argmax_row[k];
@@ -286,6 +301,7 @@ fn filter_lp(lp: &MkpLpSolution, survivors: &[usize]) -> MkpLpSolution {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::oned::oracle::CombinatorialOracle;
     use eblow_model::{Character, Stencil};
 
     fn small_instance() -> Instance {
@@ -308,6 +324,7 @@ mod tests {
             &eligible,
             2,
             &RoundingConfig::default(),
+            &CombinatorialOracle,
             StopFlag::NEVER,
         );
         let placed: usize = out.rows.iter().map(|r| r.members.len()).sum();
@@ -329,6 +346,7 @@ mod tests {
             &eligible,
             2,
             &RoundingConfig::default(),
+            &CombinatorialOracle,
             StopFlag::NEVER,
         );
         let sel = eblow_model::Selection::from_indices(
@@ -348,7 +366,14 @@ mod tests {
             batch_fraction: 0.3,
             ..Default::default()
         };
-        let out = successive_rounding(&inst, &eligible, 2, &cfg, StopFlag::NEVER);
+        let out = successive_rounding(
+            &inst,
+            &eligible,
+            2,
+            &cfg,
+            &CombinatorialOracle,
+            StopFlag::NEVER,
+        );
         let u = &out.trace.unsolved_per_iter;
         assert!(!u.is_empty());
         assert!(u.windows(2).all(|w| w[1] <= w[0]), "{u:?} not decreasing");
@@ -362,7 +387,14 @@ mod tests {
             stall_fraction: 0.0,
             ..Default::default()
         };
-        let out = successive_rounding(&inst, &eligible, 2, &cfg, StopFlag::NEVER);
+        let out = successive_rounding(
+            &inst,
+            &eligible,
+            2,
+            &cfg,
+            &CombinatorialOracle,
+            StopFlag::NEVER,
+        );
         // With no stall break the loop only stops when an iteration commits
         // nothing (or everything is solved).
         if !out.unsolved.is_empty() {
@@ -371,9 +403,49 @@ mod tests {
     }
 
     #[test]
+    fn oracle_failure_ends_loop_consistently() {
+        #[derive(Debug)]
+        struct Refusing;
+        impl crate::oned::oracle::LpOracle for Refusing {
+            fn name(&self) -> &'static str {
+                "refusing"
+            }
+            fn solve_lp(
+                &self,
+                _items: &[MkpItem],
+                _base: &[RowBase],
+                _stencil_w: u64,
+            ) -> Result<MkpLpSolution, crate::oned::oracle::OracleError> {
+                Err(crate::oned::oracle::OracleError::Failed("test".into()))
+            }
+        }
+        let inst = small_instance();
+        let eligible: Vec<usize> = (0..8).collect();
+        let out = successive_rounding(
+            &inst,
+            &eligible,
+            2,
+            &RoundingConfig::default(),
+            &Refusing,
+            StopFlag::NEVER,
+        );
+        assert_eq!(out.trace.oracle_errors, 1);
+        assert_eq!(out.unsolved, eligible, "nothing committed, nothing lost");
+        assert!(out.last_lp.is_none());
+        assert_eq!(out.rows.iter().map(|r| r.members.len()).sum::<usize>(), 0);
+    }
+
+    #[test]
     fn empty_eligible_set() {
         let inst = small_instance();
-        let out = successive_rounding(&inst, &[], 2, &RoundingConfig::default(), StopFlag::NEVER);
+        let out = successive_rounding(
+            &inst,
+            &[],
+            2,
+            &RoundingConfig::default(),
+            &CombinatorialOracle,
+            StopFlag::NEVER,
+        );
         assert!(out.unsolved.is_empty());
         assert_eq!(out.rows.iter().map(|r| r.members.len()).sum::<usize>(), 0);
     }
@@ -387,6 +459,7 @@ mod tests {
             &eligible,
             1,
             &RoundingConfig::default(),
+            &CombinatorialOracle,
             StopFlag::NEVER,
         );
         let total: usize = out.trace.last_lp_histogram.iter().sum();

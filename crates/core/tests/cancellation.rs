@@ -1,0 +1,70 @@
+//! Deadline-responsiveness tests for the baseline planners.
+//!
+//! PR 1 left `row_heuristic_1d` and the greedy planners without stop-flag
+//! poll points — fast in practice but unbounded in principle (a 4000-candidate
+//! `1M-5` row-heuristic run was observed sailing 2 s past a 3 s portfolio
+//! deadline). These tests mirror the anneal/oned/twod cancellation tests:
+//! once the stop flag is raised, each planner must hand back a *valid* plan
+//! within ~100 ms.
+
+use eblow_core::baselines::{greedy_1d_with_stop, greedy_2d_with_stop, row_heuristic_1d_with_stop};
+use eblow_core::StopFlag;
+use eblow_gen::Family;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// The ~100 ms responsiveness target, with headroom for CI scheduling
+/// jitter (the poll gaps themselves are microseconds).
+const RESPONSE_LIMIT: Duration = Duration::from_millis(400);
+
+#[test]
+fn rowheur_returns_within_limit_of_midflight_stop() {
+    // The exact scenario from the bug report: 1M-5, 4000 candidates.
+    let inst = eblow_gen::benchmark(Family::M1(5));
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let worker = scope.spawn(|| {
+            let plan = row_heuristic_1d_with_stop(&inst, StopFlag::new(&stop)).unwrap();
+            (Instant::now(), plan)
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+        let raised = Instant::now();
+        let (returned, plan) = worker.join().unwrap();
+        let lag = returned.saturating_duration_since(raised);
+        assert!(
+            lag <= RESPONSE_LIMIT,
+            "rowheur answered {lag:?} after the stop flag was raised"
+        );
+        plan.placement.validate(&inst).unwrap();
+        assert_eq!(plan.total_time, inst.total_writing_time(&plan.selection));
+    });
+}
+
+#[test]
+fn greedy_1d_returns_within_limit_of_preraised_stop() {
+    let inst = eblow_gen::benchmark(Family::M1(5));
+    let stop = AtomicBool::new(true);
+    let started = Instant::now();
+    let plan = greedy_1d_with_stop(&inst, StopFlag::new(&stop)).unwrap();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed <= RESPONSE_LIMIT,
+        "greedy_1d took {elapsed:?} with the stop flag already raised"
+    );
+    plan.placement.validate(&inst).unwrap();
+}
+
+#[test]
+fn greedy_2d_returns_within_limit_of_preraised_stop() {
+    let inst = eblow_gen::benchmark(Family::M2(5));
+    let stop = AtomicBool::new(true);
+    let started = Instant::now();
+    let plan = greedy_2d_with_stop(&inst, StopFlag::new(&stop)).unwrap();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed <= RESPONSE_LIMIT,
+        "greedy_2d took {elapsed:?} with the stop flag already raised"
+    );
+    plan.placement.validate(&inst).unwrap();
+}

@@ -1,6 +1,10 @@
 //! Property-based tests of the core algorithms against brute-force oracles.
 
-use eblow_core::oned::{brute_force_min_width, refine_row, solve_mkp_lp, MkpItem, RowBase};
+use eblow_core::oned::{
+    brute_force_min_width, refine_row, solve_mkp_lp, CombinatorialOracle, LpOracle, MkpItem,
+    RowBase, ScaledOracle, SimplexOracle,
+};
+use eblow_gen::GenConfig;
 use eblow_model::{CharId, Character, Instance, Stencil};
 use proptest::prelude::*;
 
@@ -123,5 +127,52 @@ proptest! {
         }
         prop_assert!(sol.objective <= bound + 1e-6,
             "objective {} exceeds aggregate bound {bound}", sol.objective);
+    }
+
+    /// Backend agreement (the cross-check the pluggable oracle exists for):
+    /// on random small *blank-free* instances from `eblow-gen`, every
+    /// [`LpOracle`] solves the identical fractional multiple knapsack, so
+    /// all objectives must agree to 1e-6 relative. (Blanks are zeroed
+    /// because with them formulation (4) lets the simplex hold `B_j` below
+    /// the max assigned blank — the Lemma 3-4 gap, checked separately with
+    /// a loose tolerance by `eblow-eval agree`.)
+    #[test]
+    fn lp_oracle_backends_agree_on_blank_free_instances(
+        seed in 0u64..2000,
+        n in 4usize..20,
+        rows in 1u64..4,
+    ) {
+        let cfg = GenConfig {
+            n_chars: n,
+            blank: (0, 0),
+            stencil_h: rows * 40,
+            ..GenConfig::tiny_1d(seed)
+        };
+        let inst = eblow_gen::generate(&cfg);
+        let items = MkpItem::initial_set(&inst);
+        let base = vec![RowBase::default(); rows as usize];
+        let w = inst.stencil().width();
+
+        let comb = CombinatorialOracle.solve_lp(&items, &base, w).unwrap();
+        let simp = SimplexOracle::default().solve_lp(&items, &base, w).unwrap();
+        // The scaled wrapper must agree too while it merely delegates
+        // (n ≤ max_items ⇒ no coarsening, hence no optimality loss).
+        let scaled = ScaledOracle::new(SimplexOracle::default(), 64)
+            .solve_lp(&items, &base, w)
+            .unwrap();
+
+        let scale = comb.objective.abs().max(simp.objective.abs()).max(1.0);
+        prop_assert!(
+            (comb.objective - simp.objective).abs() <= 1e-6 * scale,
+            "combinatorial {} vs simplex {} (seed {seed}, n {n}, rows {rows})",
+            comb.objective,
+            simp.objective
+        );
+        prop_assert!(
+            (comb.objective - scaled.objective).abs() <= 1e-6 * scale,
+            "combinatorial {} vs scaled {}",
+            comb.objective,
+            scaled.objective
+        );
     }
 }

@@ -188,6 +188,11 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(a, c);
         assert_eq!(a.digest, b.digest);
+        // LP-backend variants are distinct strategies to the cache: a plan
+        // raced with one backend set must never serve the other.
+        let comb = PlanCacheKey::new(&inst, ["eblow1d@combinatorial"]);
+        let simp = PlanCacheKey::new(&inst, ["eblow1d@simplex"]);
+        assert_ne!(comb, simp);
     }
 
     #[test]

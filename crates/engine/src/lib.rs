@@ -55,4 +55,4 @@ pub use cache::{CacheStats, LruCache, PlanCacheKey};
 pub use outcome::{EngineError, PlanDetail, PlanOutcome};
 pub use planner::{BatchResult, Planner};
 pub use portfolio::{Portfolio, PortfolioConfig, PortfolioOutcome, StrategyReport, StrategyStatus};
-pub use strategy::{builtin_strategies, strategies_for, strategy_by_name, Strategy};
+pub use strategy::{builtin_strategies, strategies_for, strategy_by_name, Strategy, StrategyId};

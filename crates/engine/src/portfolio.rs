@@ -77,6 +77,13 @@ pub struct StrategyReport {
     pub elapsed: Duration,
 }
 
+impl StrategyReport {
+    /// The structured (base + optional backend) view of [`Self::name`].
+    pub fn id(&self) -> crate::strategy::StrategyId<'static> {
+        crate::strategy::StrategyId::parse(self.name)
+    }
+}
+
 impl fmt::Display for StrategyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let time = match self.total_time {
@@ -93,7 +100,7 @@ impl fmt::Display for StrategyReport {
         };
         write!(
             f,
-            "{:<12} {:<10} T_total={:>8}  {:.3}s",
+            "{:<22} {:<10} T_total={:>8}  {:.3}s",
             self.name,
             status,
             time,
@@ -313,7 +320,8 @@ mod tests {
             .filter(|r| r.status == StrategyStatus::Unsupported)
             .map(|r| r.name)
             .collect();
-        assert!(unsupported.contains(&"eblow1d"));
+        assert!(unsupported.contains(&"eblow1d@combinatorial"));
+        assert!(unsupported.contains(&"eblow1d@simplex"));
         assert!(unsupported.contains(&"ilp2d"), "60 chars > ILP cap");
     }
 

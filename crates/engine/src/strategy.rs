@@ -9,15 +9,63 @@
 use crate::budget::Budget;
 use crate::outcome::{EngineError, PlanOutcome};
 use eblow_core::baselines::{
-    greedy_1d, greedy_2d, heuristic_1d_with_stop, row_heuristic_1d, sa_2d_with_stop,
-    Heuristic1dConfig, Sa2dConfig,
+    greedy_1d_with_stop, greedy_2d_with_stop, heuristic_1d_with_stop, row_heuristic_1d_with_stop,
+    sa_2d_with_stop, Heuristic1dConfig, Sa2dConfig,
 };
 use eblow_core::ilp::{solve_ilp_1d, solve_ilp_2d};
-use eblow_core::oned::{Eblow1d, Eblow1dConfig};
+use eblow_core::oned::{Eblow1d, Eblow1dConfig, ScaledOracle, SimplexOracle};
 use eblow_core::twod::{Eblow2d, Eblow2dConfig};
 use eblow_core::Plan1d;
 use eblow_model::Instance;
+use std::fmt;
 use std::sync::Arc;
+
+/// A parsed strategy identifier: a registry base name plus an optional
+/// `@backend` parameter (e.g. `eblow1d@simplex`).
+///
+/// Registry names, report labels, and plan-cache portfolio fingerprints all
+/// use the *full* form, so two backends of the same pipeline are distinct
+/// strategies end to end; `StrategyId` gives callers the structured view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrategyId<'a> {
+    base: &'a str,
+    backend: Option<&'a str>,
+}
+
+impl<'a> StrategyId<'a> {
+    /// Splits `name` at the first `@` into base and backend.
+    pub fn parse(name: &'a str) -> Self {
+        match name.split_once('@') {
+            Some((base, backend)) => StrategyId {
+                base,
+                backend: Some(backend),
+            },
+            None => StrategyId {
+                base: name,
+                backend: None,
+            },
+        }
+    }
+
+    /// The pipeline part of the identifier (`eblow1d` in `eblow1d@simplex`).
+    pub fn base(&self) -> &'a str {
+        self.base
+    }
+
+    /// The backend parameter, when one is present.
+    pub fn backend(&self) -> Option<&'a str> {
+        self.backend
+    }
+}
+
+impl fmt::Display for StrategyId<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.backend {
+            Some(backend) => write!(f, "{}@{}", self.base, backend),
+            None => f.write_str(self.base),
+        }
+    }
+}
 
 /// An object-safe planning strategy.
 ///
@@ -44,7 +92,13 @@ fn is_row_structured(instance: &Instance) -> bool {
 }
 
 /// The E-BLOW 1DOSP pipeline (successive rounding + fast ILP convergence +
-/// refinement + post stages).
+/// refinement + post stages), parameterized by its LP relaxation backend.
+///
+/// Each backend registers as a distinct strategy (`eblow1d@combinatorial`,
+/// `eblow1d@simplex`, …) so the portfolio races them and the plan cache
+/// fingerprints them separately. `supports` consults the backend's
+/// [`LpOracle::max_cells`](eblow_core::oned::LpOracle::max_cells), so a
+/// size-limited backend never enters a race it would have to refuse.
 #[derive(Debug, Clone, Default)]
 pub struct Eblow1dStrategy {
     config: Eblow1dConfig,
@@ -52,7 +106,8 @@ pub struct Eblow1dStrategy {
 }
 
 impl Eblow1dStrategy {
-    /// Wraps the full pipeline (the paper's E-BLOW-1).
+    /// Wraps the full pipeline (the paper's E-BLOW-1) with the default
+    /// combinatorial LP backend.
     pub fn new(config: Eblow1dConfig) -> Self {
         Eblow1dStrategy { config, name: None }
     }
@@ -65,14 +120,50 @@ impl Eblow1dStrategy {
             name: Some("eblow1d-0"),
         }
     }
+
+    /// The pipeline on the exact dense-simplex LP backend. Refuses (via
+    /// `supports`) instances beyond the simplex size cutoff.
+    pub fn simplex() -> Self {
+        let mut config = Eblow1dConfig::default().with_oracle(Arc::new(SimplexOracle::default()));
+        // The exact (4) relaxation is more fractional than the
+        // combinatorial fixed point, so Algorithm 2 inherits a much larger
+        // residual ILP. As a *racing* portfolio member this backend gets a
+        // tight branch-and-bound budget: better to finish and run the
+        // post-stages than to chew the whole race deadline on binaries.
+        config.convergence.time_limit = std::time::Duration::from_secs(2);
+        Eblow1dStrategy {
+            config,
+            name: Some("eblow1d@simplex"),
+        }
+    }
+
+    /// The pipeline on the width-coarsening simplex wrapper: any instance
+    /// size, at some LP optimality cost. Resolvable by name
+    /// (`eblow1d@scaled`) but not part of the default race.
+    pub fn scaled() -> Self {
+        Eblow1dStrategy {
+            config: Eblow1dConfig::default()
+                .with_oracle(Arc::new(ScaledOracle::<SimplexOracle>::default())),
+            name: Some("eblow1d@scaled"),
+        }
+    }
 }
 
 impl Strategy for Eblow1dStrategy {
     fn name(&self) -> &'static str {
-        self.name.unwrap_or("eblow1d")
+        self.name.unwrap_or("eblow1d@combinatorial")
     }
     fn supports(&self, instance: &Instance) -> bool {
-        is_row_structured(instance)
+        if !is_row_structured(instance) {
+            return false;
+        }
+        match self.config.oracle.max_cells() {
+            Some(limit) => {
+                let rows = instance.num_rows().unwrap_or(0);
+                instance.num_chars().saturating_mul(rows) <= limit
+            }
+            None => true,
+        }
     }
     fn plan(&self, instance: &Instance, budget: &Budget) -> Result<PlanOutcome, EngineError> {
         let plan =
@@ -92,8 +183,9 @@ impl Strategy for Greedy1dStrategy {
     fn supports(&self, instance: &Instance) -> bool {
         is_row_structured(instance)
     }
-    fn plan(&self, instance: &Instance, _budget: &Budget) -> Result<PlanOutcome, EngineError> {
-        Ok(PlanOutcome::from_1d(self.name(), greedy_1d(instance)?))
+    fn plan(&self, instance: &Instance, budget: &Budget) -> Result<PlanOutcome, EngineError> {
+        let plan = greedy_1d_with_stop(instance, budget.stop_flag())?;
+        Ok(PlanOutcome::from_1d(self.name(), plan))
     }
 }
 
@@ -129,11 +221,9 @@ impl Strategy for RowHeuristic1dStrategy {
     fn supports(&self, instance: &Instance) -> bool {
         is_row_structured(instance)
     }
-    fn plan(&self, instance: &Instance, _budget: &Budget) -> Result<PlanOutcome, EngineError> {
-        Ok(PlanOutcome::from_1d(
-            self.name(),
-            row_heuristic_1d(instance)?,
-        ))
+    fn plan(&self, instance: &Instance, budget: &Budget) -> Result<PlanOutcome, EngineError> {
+        let plan = row_heuristic_1d_with_stop(instance, budget.stop_flag())?;
+        Ok(PlanOutcome::from_1d(self.name(), plan))
     }
 }
 
@@ -226,8 +316,9 @@ impl Strategy for Greedy2dStrategy {
     fn supports(&self, instance: &Instance) -> bool {
         !is_row_structured(instance)
     }
-    fn plan(&self, instance: &Instance, _budget: &Budget) -> Result<PlanOutcome, EngineError> {
-        Ok(PlanOutcome::from_2d(self.name(), greedy_2d(instance)?))
+    fn plan(&self, instance: &Instance, budget: &Budget) -> Result<PlanOutcome, EngineError> {
+        let plan = greedy_2d_with_stop(instance, budget.stop_flag())?;
+        Ok(PlanOutcome::from_2d(self.name(), plan))
     }
 }
 
@@ -300,12 +391,16 @@ impl Strategy for ExactIlp2dStrategy {
 
 /// Every built-in strategy, 1D then 2D, strongest first within each group.
 ///
-/// The set covers the whole planner zoo of the paper's evaluation:
-/// `eblow1d`, `eblow1d-0`, `heuristic1d`, `rowheur1d`, `greedy1d`, `ilp1d`,
-/// `eblow2d`, `sa2d`, `greedy2d`, `ilp2d`.
+/// The set covers the whole planner zoo of the paper's evaluation plus the
+/// LP-backend variants: `eblow1d@combinatorial`, `eblow1d@simplex`,
+/// `eblow1d-0`, `heuristic1d`, `rowheur1d`, `greedy1d`, `ilp1d`, `eblow2d`,
+/// `sa2d`, `greedy2d`, `ilp2d`. (`eblow1d@scaled` is resolvable by name but
+/// intentionally outside the default race — its coarsened simplex is the
+/// slowest backend and strictly dominated on instances the others accept.)
 pub fn builtin_strategies() -> Vec<Arc<dyn Strategy>> {
     vec![
         Arc::new(Eblow1dStrategy::default()),
+        Arc::new(Eblow1dStrategy::simplex()),
         Arc::new(Eblow1dStrategy::eblow0()),
         Arc::new(Heuristic1dStrategy::default()),
         Arc::new(RowHeuristic1dStrategy),
@@ -318,9 +413,22 @@ pub fn builtin_strategies() -> Vec<Arc<dyn Strategy>> {
     ]
 }
 
-/// Looks up a built-in strategy by its registry name.
+/// Looks up a strategy by registry name.
+///
+/// Exact built-in names resolve first. Two aliases are also accepted:
+/// `eblow1d` (the historical name, mapping to the default
+/// `eblow1d@combinatorial`) and the backend-parameterized form
+/// `eblow1d@scaled` (constructed on demand; see [`StrategyId`]).
 pub fn strategy_by_name(name: &str) -> Option<Arc<dyn Strategy>> {
-    builtin_strategies().into_iter().find(|s| s.name() == name)
+    if let Some(s) = builtin_strategies().into_iter().find(|s| s.name() == name) {
+        return Some(s);
+    }
+    let id = StrategyId::parse(name);
+    match (id.base(), id.backend()) {
+        ("eblow1d", None) => Some(Arc::new(Eblow1dStrategy::default())),
+        ("eblow1d", Some("scaled")) => Some(Arc::new(Eblow1dStrategy::scaled())),
+        _ => None,
+    }
 }
 
 /// The built-in strategies that support `instance`, in registry order.
@@ -355,11 +463,51 @@ mod tests {
         let d2 = eblow_gen::generate(&GenConfig::tiny_2d(1));
         let s1: Vec<&str> = strategies_for(&d1).iter().map(|s| s.name()).collect();
         let s2: Vec<&str> = strategies_for(&d2).iter().map(|s| s.name()).collect();
-        assert!(s1.contains(&"eblow1d") && !s1.contains(&"eblow2d"));
-        assert!(s2.contains(&"eblow2d") && !s2.contains(&"eblow1d"));
+        assert!(s1.contains(&"eblow1d@combinatorial") && !s1.contains(&"eblow2d"));
+        assert!(s2.contains(&"eblow2d") && !s2.contains(&"eblow1d@combinatorial"));
+        // Both LP backends fit the tiny instance (60 × 3 cells).
+        assert!(s1.contains(&"eblow1d@simplex"));
         // The exact ILPs refuse 60-candidate instances.
         assert!(!s1.contains(&"ilp1d"));
         assert!(!s2.contains(&"ilp2d"));
+    }
+
+    #[test]
+    fn simplex_backend_refuses_oversized_instances_via_supports() {
+        // 1M-1: 1000 candidates × 25 rows = 25 000 cells ≫ the simplex
+        // cutoff; the backend must bow out *before* the race.
+        let big = eblow_gen::benchmark(eblow_gen::Family::M1(1));
+        let names: Vec<&str> = strategies_for(&big).iter().map(|s| s.name()).collect();
+        assert!(names.contains(&"eblow1d@combinatorial"));
+        assert!(!names.contains(&"eblow1d@simplex"));
+        // The scaled wrapper has no cutoff and accepts it.
+        assert!(Eblow1dStrategy::scaled().supports(&big));
+    }
+
+    #[test]
+    fn strategy_id_parses_backend_parameters() {
+        let id = StrategyId::parse("eblow1d@simplex");
+        assert_eq!(id.base(), "eblow1d");
+        assert_eq!(id.backend(), Some("simplex"));
+        assert_eq!(id.to_string(), "eblow1d@simplex");
+        let bare = StrategyId::parse("greedy1d");
+        assert_eq!(bare.base(), "greedy1d");
+        assert_eq!(bare.backend(), None);
+        assert_eq!(bare.to_string(), "greedy1d");
+    }
+
+    #[test]
+    fn backend_variants_resolve_from_the_registry() {
+        for name in ["eblow1d@combinatorial", "eblow1d@simplex", "eblow1d@scaled"] {
+            let s = strategy_by_name(name).unwrap_or_else(|| panic!("{name} not resolvable"));
+            assert_eq!(s.name(), name);
+        }
+        // Historical alias.
+        assert_eq!(
+            strategy_by_name("eblow1d").unwrap().name(),
+            "eblow1d@combinatorial"
+        );
+        assert!(strategy_by_name("eblow1d@bogus").is_none());
     }
 
     #[test]

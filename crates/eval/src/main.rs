@@ -9,7 +9,17 @@
 //! eblow-eval fig6                   Fig. 6   (last-LP value histogram)
 //! eblow-eval fig11                  Fig. 11  (E-BLOW-0 vs E-BLOW-1 writing time)
 //! eblow-eval fig12                  Fig. 12  (E-BLOW-0 vs E-BLOW-1 runtime)
-//! eblow-eval portfolio [--deadline-s N]  engine portfolio race on the suites
+//! eblow-eval portfolio [--deadline-s N] [--case NAME] [--assert-within-ms N]
+//!                                   engine portfolio race on the suites
+//!                                   (optionally one case, optionally
+//!                                   failing the process if a race misses
+//!                                   its deadline by more than the margin
+//!                                   or produces no valid plan)
+//! eblow-eval agree [--tol-rel X]    cross-check the LP oracle backends:
+//!                                   objectives must agree within X
+//!                                   relative (default 0.05) on the
+//!                                   reference instances, and both
+//!                                   backends' rounded plans must validate
 //! eblow-eval all [--ilp-limit-s N]  everything above
 //! ```
 //!
@@ -18,12 +28,15 @@
 //! here measure exactly what the engine serves.
 
 use eblow_core::ilp::{solve_ilp_1d, solve_ilp_2d};
-use eblow_core::oned::{Eblow1d, Eblow1dConfig};
+use eblow_core::oned::{
+    CombinatorialOracle, Eblow1d, Eblow1dConfig, LpOracle, MkpItem, RowBase, SimplexOracle,
+};
 use eblow_core::twod::Eblow2d;
 use eblow_engine::{strategy_by_name, Budget, Portfolio, PortfolioConfig};
-use eblow_gen::{table3_suite, table4_suite, Family};
+use eblow_gen::{table3_suite, table4_suite, Family, GenConfig};
 use eblow_lp::MilpStatus;
 use eblow_model::Instance;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct MethodRow {
@@ -141,10 +154,16 @@ fn table4() {
     print_summary(&methods, &all);
 }
 
-/// Races the full engine portfolio on every Table 3/4 case under a
-/// deadline, printing the winner and the per-strategy report — the
-/// end-to-end path a production deployment exercises.
-fn portfolio(deadline: Duration) {
+/// Races the full engine portfolio (both LP backends included) on the
+/// Table 3/4/5 cases under a deadline, printing the winner and the
+/// per-strategy report — the end-to-end path a production deployment
+/// exercises.
+///
+/// `case` restricts the run to one named case. `assert_within` turns the
+/// run into a correctness gate (used by CI): every race must produce a
+/// valid plan and return within `deadline + margin`, else the process
+/// exits non-zero.
+fn portfolio(deadline: Duration, case: Option<&str>, assert_within: Option<Duration>) {
     println!();
     println!(
         "== Engine portfolio race (deadline {:.1}s per case) ==",
@@ -155,12 +174,18 @@ fn portfolio(deadline: Duration) {
         deadline: Some(deadline),
         ..Default::default()
     };
-    let suites = table3_suite().into_iter().chain(table4_suite());
+    let suites = table3_suite()
+        .into_iter()
+        .chain(table4_suite())
+        .chain(eblow_gen::table5_suite())
+        .filter(|(name, _)| case.is_none_or(|c| c == name));
+    let mut ran = 0usize;
     for (name, inst) in suites {
+        ran += 1;
         let outcome = portfolio.run(&inst, &config);
         match &outcome.best {
             Some(best) => println!(
-                "{name:8} winner={:<12} T_total={:>10}  chars={:>5}  race={:.3}s",
+                "{name:8} winner={:<22} T_total={:>10}  chars={:>5}  race={:.3}s",
                 best.strategy,
                 best.total_time,
                 best.selection.count(),
@@ -171,6 +196,101 @@ fn portfolio(deadline: Duration) {
         for report in &outcome.reports {
             println!("         {report}");
         }
+        if let Some(margin) = assert_within {
+            let budget = deadline + margin;
+            if outcome.best.is_none() {
+                eprintln!("FAIL: {name}: no valid plan under deadline");
+                std::process::exit(1);
+            }
+            if outcome.elapsed > budget {
+                eprintln!(
+                    "FAIL: {name}: race took {:.3}s, budget {:.3}s",
+                    outcome.elapsed.as_secs_f64(),
+                    budget.as_secs_f64()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(c) = case {
+        if ran == 0 {
+            eprintln!("FAIL: unknown case {c:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Cross-checks the combinatorial and simplex LP backends on the reference
+/// instances: first-iteration LP objectives must agree within `tol`
+/// relative, and both backends' rounded plans must validate. Exits
+/// non-zero on any violation, so CI can gate on it.
+fn agree(tol: f64) {
+    println!();
+    println!("== LP backend agreement (combinatorial vs simplex, rel tol {tol}) ==");
+    println!(
+        "{:10} {:>6} | {:>14} {:>14} {:>9} | {:>10} {:>10}",
+        "case", "cand#", "LP(comb)", "LP(simplex)", "rel gap", "T(comb)", "T(simplex)"
+    );
+    let mut references: Vec<(String, Instance)> = (1..=5u8)
+        .map(|k| (Family::T1(k).name(), eblow_gen::benchmark(Family::T1(k))))
+        .collect();
+    for seed in 1..=3u64 {
+        references.push((
+            format!("tiny-{seed}"),
+            eblow_gen::generate(&GenConfig::tiny_1d(seed)),
+        ));
+    }
+    let mut failed = false;
+    for (name, inst) in &references {
+        let items = MkpItem::initial_set(inst);
+        let rows = vec![RowBase::default(); inst.num_rows().expect("1D reference instance")];
+        let w = inst.stencil().width();
+        let comb_lp = CombinatorialOracle
+            .solve_lp(&items, &rows, w)
+            .expect("combinatorial never fails");
+        let simp_lp = SimplexOracle::default()
+            .solve_lp(&items, &rows, w)
+            .expect("reference instances fit the simplex cutoff");
+        let scale = comb_lp
+            .objective
+            .abs()
+            .max(simp_lp.objective.abs())
+            .max(1.0);
+        let gap = (comb_lp.objective - simp_lp.objective).abs() / scale;
+
+        let comb_plan = Eblow1d::default()
+            .plan(inst)
+            .expect("1D reference instance");
+        let simp_plan =
+            Eblow1d::new(Eblow1dConfig::default().with_oracle(Arc::new(SimplexOracle::default())))
+                .plan(inst)
+                .expect("1D reference instance");
+        let mut ok = gap <= tol;
+        for (backend, plan) in [("combinatorial", &comb_plan), ("simplex", &simp_plan)] {
+            if let Err(e) = plan.placement.validate(inst) {
+                eprintln!("FAIL: {name}: {backend} plan invalid: {e}");
+                ok = false;
+            }
+        }
+        println!(
+            "{:10} {:>6} | {:>14.3} {:>14.3} {:>8.4}% | {:>10} {:>10}{}",
+            name,
+            inst.num_chars(),
+            comb_lp.objective,
+            simp_lp.objective,
+            gap * 100.0,
+            comb_plan.total_time,
+            simp_plan.total_time,
+            if ok { "" } else { "   <-- FAIL" }
+        );
+        failed |= !ok;
+    }
+    println!("(the simplex solves (4) with B_j as a variable; the combinatorial fixed point");
+    println!(" charges each assigned character its full blank — the Lemma 3-4 approximation —");
+    println!(" so a small one-sided gap is expected, bounded by the tolerance above)");
+    if failed {
+        eprintln!("FAIL: LP backends disagree beyond tolerance (or a plan failed validation)");
+        std::process::exit(1);
     }
 }
 
@@ -342,6 +462,23 @@ fn main() {
         .and_then(|v| v.parse::<u64>().ok())
         .map(Duration::from_secs)
         .unwrap_or(Duration::from_secs(30));
+    let case = args
+        .iter()
+        .position(|a| a == "--case")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let assert_within = args
+        .iter()
+        .position(|a| a == "--assert-within-ms")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis);
+    let tol_rel = args
+        .iter()
+        .position(|a| a == "--tol-rel")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.05);
 
     match cmd {
         "table3" => table3(),
@@ -350,7 +487,8 @@ fn main() {
         "fig5" => fig5(),
         "fig6" => fig6(),
         "fig11" | "fig12" => fig11_12(),
-        "portfolio" => portfolio(deadline),
+        "portfolio" => portfolio(deadline, case, assert_within),
+        "agree" => agree(tol_rel),
         "all" => {
             table3();
             table4();
@@ -358,12 +496,14 @@ fn main() {
             fig5();
             fig6();
             fig11_12();
-            portfolio(deadline);
+            agree(tol_rel);
+            portfolio(deadline, case, assert_within);
         }
         other => {
             eprintln!("unknown command {other:?}");
             eprintln!(
-                "usage: eblow-eval [table3|table4|table5|fig5|fig6|fig11|fig12|portfolio|all] [--ilp-limit-s N] [--deadline-s N]"
+                "usage: eblow-eval [table3|table4|table5|fig5|fig6|fig11|fig12|portfolio|agree|all] \
+                 [--ilp-limit-s N] [--deadline-s N] [--case NAME] [--assert-within-ms N] [--tol-rel X]"
             );
             std::process::exit(2);
         }

@@ -105,7 +105,7 @@ impl BranchBound {
     /// The problem itself is not modified; bound changes are applied to a
     /// scratch copy per node.
     pub fn solve(&self, problem: &LpProblem, integers: &[VarId]) -> MilpSolution {
-        self.solve_with_incumbent(problem, integers, None)
+        self.solve_cancellable(problem, integers, None, None)
     }
 
     /// Like [`BranchBound::solve`], but seeded with a known feasible point
@@ -117,6 +117,23 @@ impl BranchBound {
         problem: &LpProblem,
         integers: &[VarId],
         initial: Option<&[f64]>,
+    ) -> MilpSolution {
+        self.solve_cancellable(problem, integers, initial, None)
+    }
+
+    /// The fully general entry point: optional warm start plus an optional
+    /// cooperative stop flag, polled once per branch-and-bound node. When
+    /// the flag is raised the search stops exactly like a time limit: the
+    /// best incumbent so far (if any) is returned as
+    /// [`MilpStatus::Feasible`], otherwise [`MilpStatus::TimedOut`]. This
+    /// is how the planners keep the residual ILP of Algorithm 2 inside a
+    /// portfolio deadline.
+    pub fn solve_cancellable(
+        &self,
+        problem: &LpProblem,
+        integers: &[VarId],
+        initial: Option<&[f64]>,
+        stop: Option<&std::sync::atomic::AtomicBool>,
     ) -> MilpSolution {
         let start = Instant::now();
         let minimize = problem.sense() == Sense::Minimize;
@@ -143,7 +160,10 @@ impl BranchBound {
         let mut limit_hit = false;
 
         while let Some(node) = stack.pop() {
-            if start.elapsed() > self.config.time_limit || nodes >= self.config.node_limit {
+            if start.elapsed() > self.config.time_limit
+                || nodes >= self.config.node_limit
+                || stop.is_some_and(|s| s.load(std::sync::atomic::Ordering::Relaxed))
+            {
                 limit_hit = true;
                 break;
             }

@@ -54,6 +54,24 @@ fn main() {
         }
     }
 
+    // ---- racing LP oracle backends of the same pipeline -----------------
+    // The 1D pipeline's LP relaxation is a pluggable backend
+    // (`eblow::planner::oned::LpOracle`); each backend registers as its own
+    // strategy, so the portfolio cross-checks them in one race.
+    println!();
+    println!("== LP backend race: eblow1d@combinatorial vs eblow1d@simplex ==");
+    let backends =
+        Portfolio::of_names(["eblow1d@combinatorial", "eblow1d@simplex"]).expect("registry names");
+    let outcome = backends.run(&inst_1d, &config);
+    for report in &outcome.reports {
+        println!("  {report}");
+    }
+    println!(
+        "winner: {} (both backends must produce valid plans; their LP \
+         objectives agree within tolerance — see `eblow-eval agree`)",
+        outcome.winner().expect("a winner")
+    );
+
     // ---- batch planning with the digest-keyed plan cache ----------------
     println!();
     println!("== batch planning with plan cache ==");

@@ -6,8 +6,8 @@
 //! | module | contents |
 //! |---|---|
 //! | [`model`] | characters, instances, placements, writing-time accounting |
-//! | [`planner`] | the E-BLOW 1D/2D pipelines, exact ILPs, baselines |
-//! | [`engine`] | the portfolio engine: Strategy registry, deadline racing, plan cache |
+//! | [`planner`] | the E-BLOW 1D/2D pipelines (with pluggable `LpOracle` backends), exact ILPs, baselines |
+//! | [`engine`] | the portfolio engine: Strategy registry (incl. `eblow1d@combinatorial` / `eblow1d@simplex` backend variants), deadline racing, plan cache |
 //! | [`gen`] | the synthetic benchmark families of the paper's evaluation |
 //! | [`lp`] | simplex + branch-and-bound MILP substrate |
 //! | [`kdtree`], [`matching`], [`seqpair`], [`anneal`] | algorithmic substrates |

@@ -84,6 +84,56 @@ fn eblow1_improves_on_eblow0_in_aggregate() {
 }
 
 #[test]
+fn lp_backends_agree_on_reference_instances_through_the_facade() {
+    // The acceptance cross-check at facade scope: first-iteration LP
+    // objectives of the combinatorial and simplex backends within 5%
+    // relative on the tiny reference cases, and both rounded plans valid.
+    use eblow::planner::oned::{CombinatorialOracle, LpOracle, MkpItem, RowBase, SimplexOracle};
+    use std::sync::Arc;
+    for k in 1..=5u8 {
+        let inst = benchmark(Family::T1(k));
+        // The canonical first-iteration construction — the same items the
+        // pipeline, `eblow-eval agree`, and the oracle proptest use.
+        let items = MkpItem::initial_set(&inst);
+        let rows = vec![RowBase::default(); inst.num_rows().unwrap()];
+        let w = inst.stencil().width();
+        let comb = CombinatorialOracle.solve_lp(&items, &rows, w).unwrap();
+        let simp = SimplexOracle::default().solve_lp(&items, &rows, w).unwrap();
+        let scale = comb.objective.abs().max(simp.objective.abs()).max(1.0);
+        assert!(
+            (comb.objective - simp.objective).abs() <= 0.05 * scale,
+            "1T-{k}: combinatorial {} vs simplex {}",
+            comb.objective,
+            simp.objective
+        );
+
+        let simp_plan =
+            Eblow1d::new(Eblow1dConfig::default().with_oracle(Arc::new(SimplexOracle::default())))
+                .plan(&inst)
+                .unwrap();
+        simp_plan.placement.validate(&inst).unwrap();
+        let comb_plan = Eblow1d::default().plan(&inst).unwrap();
+        comb_plan.placement.validate(&inst).unwrap();
+    }
+}
+
+#[test]
+fn stop_flag_makes_every_baseline_return_quickly_and_validly() {
+    use eblow::planner::baselines::{greedy_1d_with_stop, row_heuristic_1d_with_stop};
+    use eblow::planner::StopFlag;
+    use std::sync::atomic::AtomicBool;
+    let inst = generate(&GenConfig::tiny_1d(55));
+    let stop = AtomicBool::new(true);
+    for plan in [
+        greedy_1d_with_stop(&inst, StopFlag::new(&stop)).unwrap(),
+        row_heuristic_1d_with_stop(&inst, StopFlag::new(&stop)).unwrap(),
+    ] {
+        plan.placement.validate(&inst).unwrap();
+        assert_eq!(plan.total_time, inst.total_writing_time(&plan.selection));
+    }
+}
+
+#[test]
 fn deterministic_replanning() {
     let inst = generate(&GenConfig::tiny_1d(77));
     let a = Eblow1d::default().plan(&inst).unwrap();
