@@ -187,7 +187,15 @@ pub fn solve_mkp_lp(items: &[MkpItem], base: &[RowBase], stencil_w: u64) -> MkpL
     finish(items, fracs, blanks)
 }
 
-fn finish(items: &[MkpItem], fracs: Vec<Vec<(usize, f64)>>, blanks: Vec<u64>) -> MkpLpSolution {
+/// Assembles an [`MkpLpSolution`] from raw per-item fractions: recomputes
+/// the derived fields (`max_frac`, `argmax_row`, `objective`). Shared with
+/// the other LP oracle backends so every backend derives the invariant
+/// fields identically.
+pub(crate) fn finish(
+    items: &[MkpItem],
+    fracs: Vec<Vec<(usize, f64)>>,
+    blanks: Vec<u64>,
+) -> MkpLpSolution {
     let n = items.len();
     let mut max_frac = vec![0.0f64; n];
     let mut argmax_row = vec![0usize; n];

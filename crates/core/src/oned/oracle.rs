@@ -118,31 +118,6 @@ fn empty_solution(items: &[MkpItem], base: &[RowBase]) -> MkpLpSolution {
     }
 }
 
-/// Recomputes the derived fields (`max_frac`, `argmax_row`, `objective`)
-/// from `fracs`.
-fn derive(items: &[MkpItem], fracs: Vec<Vec<(usize, f64)>>, blanks: Vec<u64>) -> MkpLpSolution {
-    let n = items.len();
-    let mut max_frac = vec![0.0f64; n];
-    let mut argmax_row = vec![0usize; n];
-    let mut objective = 0.0;
-    for k in 0..n {
-        for &(j, f) in &fracs[k] {
-            objective += items[k].profit * f;
-            if f > max_frac[k] {
-                max_frac[k] = f;
-                argmax_row[k] = j;
-            }
-        }
-    }
-    MkpLpSolution {
-        fracs,
-        max_frac,
-        argmax_row,
-        objective,
-        blanks,
-    }
-}
-
 /// The default backend: the structure-exploiting density-greedy fixed point
 /// of [`solve_mkp_lp`]. Never refuses an instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -309,7 +284,7 @@ impl LpOracle for SimplexOracle {
             // stays true after integerization.
             blanks[j] = blanks[j].max(sol.values[bvars[oj].index()].floor() as u64);
         }
-        Ok(derive(items, fracs, blanks))
+        Ok(super::mkp_lp::finish(items, fracs, blanks))
     }
 }
 
@@ -452,7 +427,7 @@ impl<O: LpOracle> LpOracle for ScaledOracle<O> {
         for fr in fracs.iter_mut() {
             fr.retain(|&(_, f)| f > 1e-12);
         }
-        Ok(derive(items, fracs, blanks))
+        Ok(super::mkp_lp::finish(items, fracs, blanks))
     }
 }
 

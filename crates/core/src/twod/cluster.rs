@@ -155,11 +155,26 @@ pub fn prefilter(instance: &Instance, profits: &[f64], factor: f64) -> Vec<usize
         .map(|&i| instance.char(i).area() as f64)
         .sum::<f64>()
         / eligible.len() as f64;
-    let capacity = ((w * h) as f64 / avg_area * factor).ceil() as usize;
+    // Guard the degenerate division: a zero average area (or a non-finite
+    // factor) turns the capacity estimate into inf/NaN — keep everything
+    // eligible instead of truncating on garbage. (`as usize` on a NaN is
+    // 0, which would silently drop all but one candidate.)
+    let raw_capacity = if avg_area > 0.0 {
+        (w * h) as f64 / avg_area * factor
+    } else {
+        f64::INFINITY
+    };
+    let capacity = if raw_capacity.is_finite() {
+        raw_capacity.ceil() as usize
+    } else {
+        eligible.len()
+    };
+    // `total_cmp` (not `partial_cmp().unwrap()`): a NaN profit density must
+    // sort deterministically instead of panicking the whole 2D pipeline.
     eligible.sort_by(|&a, &b| {
         let da = profits[a] / instance.char(a).area() as f64;
         let db = profits[b] / instance.char(b).area() as f64;
-        db.partial_cmp(&da).unwrap().then(a.cmp(&b))
+        db.total_cmp(&da).then(a.cmp(&b))
     });
     eligible.truncate(capacity.max(1));
     eligible
@@ -184,11 +199,18 @@ pub fn cluster(
 
     loop {
         // Most profitable first, so high-value characters cluster together.
-        nodes.sort_by(|a, b| b.profit.partial_cmp(&a.profit).unwrap());
+        // `total_cmp` keeps a NaN profit (e.g. from a degenerate dynamic
+        // profit upstream) from panicking the sort: NaN gets a fixed place
+        // in the IEEE total order and the loop proceeds.
+        nodes.sort_by(|a, b| b.profit.total_cmp(&a.profit));
+        // Nodes with a non-finite profit cannot enter the KD-tree (its
+        // build contract rejects NaN coordinates, and the profit is a
+        // feature axis); they stay standalone instead of merging.
         let tree = KdTree::build(
             nodes
                 .iter()
                 .enumerate()
+                .filter(|(_, n)| n.profit.is_finite())
                 .map(|(k, n)| (n.features(), k))
                 .collect(),
         );
@@ -198,7 +220,7 @@ pub fn cluster(
         let mut merged_any = false;
 
         for k in 0..nodes.len() {
-            if consumed[k] {
+            if consumed[k] || !nodes[k].profit.is_finite() {
                 continue;
             }
             let f = nodes[k].features();
@@ -338,6 +360,37 @@ mod tests {
         let kept = prefilter(&inst, &profits, 0.2);
         assert!(kept.contains(&0));
         assert!(!kept.contains(&2), "oversized char must be dropped");
+    }
+
+    /// Regression: `partial_cmp(..).unwrap()` panicked when a profit was
+    /// NaN. Characters with zero area cannot exist at the model layer
+    /// (`ModelError::ZeroDimension`), but NaN profits reach this code from
+    /// degenerate dynamic-profit updates — both sorts must survive them.
+    #[test]
+    fn nan_profits_do_not_panic() {
+        let inst = uniform_instance(4);
+        let profits = vec![f64::NAN, 45.0, f64::NAN, 45.0];
+        // Pre-fix: panics in the profit-density sort.
+        let kept = prefilter(&inst, &profits, 0.2);
+        // NaN profits fail the `> 0.0` eligibility test and are dropped.
+        assert!(kept.iter().all(|&i| !profits[i].is_nan()));
+        // Pre-fix: panics in the most-profitable-first sort.
+        let nodes = cluster(&inst, &[0, 1, 2, 3], &profits, 0.2);
+        let members: usize = nodes.iter().map(PackNode::num_members).sum();
+        assert_eq!(members, 4, "no character may be lost");
+    }
+
+    /// Regression companion to `nan_profits_do_not_panic`: the capacity
+    /// computation must not truncate on a non-finite estimate (NaN `as
+    /// usize` is 0, which silently kept a single candidate).
+    #[test]
+    fn non_finite_capacity_keeps_all_eligible() {
+        let inst = uniform_instance(6);
+        let profits = vec![45.0; 6];
+        let kept = prefilter(&inst, &profits, f64::NAN);
+        assert_eq!(kept.len(), 6, "a NaN factor must not truncate");
+        let kept = prefilter(&inst, &profits, f64::INFINITY);
+        assert_eq!(kept.len(), 6);
     }
 
     #[test]

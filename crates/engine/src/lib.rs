@@ -19,6 +19,10 @@
 //! * [`Planner`] — the batch front-end: shards a queue of instances across
 //!   a worker pool and serves repeated requests from an
 //!   [`InstanceDigest`](eblow_model::InstanceDigest)-keyed LRU plan cache.
+//! * [`shard`] — the composite `shard1d`/`shard2d` strategies for huge
+//!   instances: split into per-region / per-row-band sub-instances, race
+//!   each shard on the portfolio machinery in parallel, stitch the
+//!   sub-plans back into one validated placement.
 //!
 //! # Quickstart
 //!
@@ -48,6 +52,7 @@ mod cache;
 mod outcome;
 mod planner;
 mod portfolio;
+pub mod shard;
 pub mod strategy;
 
 pub use budget::Budget;
@@ -55,4 +60,5 @@ pub use cache::{CacheStats, LruCache, PlanCacheKey};
 pub use outcome::{EngineError, PlanDetail, PlanOutcome};
 pub use planner::{BatchResult, Planner};
 pub use portfolio::{Portfolio, PortfolioConfig, PortfolioOutcome, StrategyReport, StrategyStatus};
+pub use shard::{Shard1dStrategy, Shard2dStrategy, ShardConfig};
 pub use strategy::{builtin_strategies, strategies_for, strategy_by_name, Strategy, StrategyId};

@@ -115,6 +115,9 @@ impl Planner {
                 best: Some(cached.clone()),
                 reports: Vec::new(),
                 elapsed: std::time::Duration::ZERO,
+                // The cached plan proves at least one strategy supported
+                // the instance when it was first raced.
+                supported: 1,
             };
         }
         self.misses.fetch_add(1, Ordering::Relaxed);

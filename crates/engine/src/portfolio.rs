@@ -118,6 +118,11 @@ pub struct PortfolioOutcome {
     pub reports: Vec<StrategyReport>,
     /// Wall-clock time of the whole race.
     pub elapsed: Duration,
+    /// Number of strategies whose `supports()` accepted the instance (and
+    /// so actually raced). `0` is the distinct "no strategy supports this
+    /// instance" outcome — nothing ran, so `best: None` means *unplannable
+    /// with this portfolio*, not *planned and failed*.
+    pub supported: usize,
 }
 
 impl PortfolioOutcome {
@@ -132,6 +137,15 @@ impl PortfolioOutcome {
     /// refuses to store anything else.
     pub fn complete(&self) -> bool {
         self.reports.iter().all(|r| !r.cancelled)
+    }
+
+    /// Whether *no* strategy in the portfolio supported the instance at
+    /// all. Distinct from a race that ran and produced no plan: here
+    /// nothing was spawned, so retrying with the same portfolio can never
+    /// succeed — the caller needs a different strategy line-up (or a
+    /// reshaped instance).
+    pub fn no_strategy_supports(&self) -> bool {
+        self.supported == 0
     }
 }
 
@@ -156,10 +170,19 @@ impl Portfolio {
     ///
     /// # Errors
     ///
-    /// Returns the first unknown name.
+    /// Returns the first unknown name. Names with a trailing `@` (an empty
+    /// backend parameter, e.g. `"eblow1d@"`) are rejected with an explicit
+    /// message rather than silently resolving to the bare base strategy —
+    /// the malformed name would otherwise leak into report labels and
+    /// plan-cache fingerprints as a distinct strategy.
     pub fn of_names<'n>(names: impl IntoIterator<Item = &'n str>) -> Result<Self, String> {
         let mut strategies = Vec::new();
         for name in names {
+            if name.ends_with('@') {
+                return Err(format!(
+                    "{name}: empty strategy backend (remove the trailing '@' or name a backend)"
+                ));
+            }
             strategies
                 .push(crate::strategy::strategy_by_name(name).ok_or_else(|| name.to_string())?);
         }
@@ -181,12 +204,24 @@ impl Portfolio {
     /// ties broken by portfolio order, so the result is deterministic for a
     /// deterministic strategy set whenever no deadline fires.
     pub fn run(&self, instance: &Instance, config: &PortfolioConfig) -> PortfolioOutcome {
-        let race_start = Instant::now();
         let budget = match config.deadline {
             Some(d) => Budget::with_deadline(d),
             None => Budget::unlimited(),
         }
         .with_ilp_time_limit(config.ilp_time_limit);
+        self.run_with_budget(instance, &budget)
+    }
+
+    /// Races the supporting strategies under an externally owned [`Budget`].
+    ///
+    /// Same semantics as [`Portfolio::run`], but deadline *and* stop flag
+    /// come from the caller: the race honours `budget.remaining()` exactly
+    /// like a config deadline, and an external `budget.cancel()` (e.g. a
+    /// parent race tearing down a sharded fan-out) stops the race early.
+    /// This is the composition point for strategies that nest portfolios,
+    /// such as `shard1d`.
+    pub fn run_with_budget(&self, instance: &Instance, budget: &Budget) -> PortfolioOutcome {
+        let race_start = Instant::now();
 
         // Reports start out Unsupported / Failed placeholders and are
         // overwritten as results arrive.
@@ -286,6 +321,7 @@ impl Portfolio {
                 best: best.map(|(_, _, outcome)| outcome),
                 reports,
                 elapsed: race_start.elapsed(),
+                supported: runnable.len(),
             }
         })
     }
@@ -332,6 +368,41 @@ mod tests {
             Portfolio::of_names(["eblow1d", "bogus"]).err().unwrap(),
             "bogus"
         );
+    }
+
+    /// Regression: a trailing `@` used to resolve like the bare base name
+    /// while keeping the malformed spelling in labels and cache keys.
+    #[test]
+    fn of_names_rejects_trailing_at_with_a_clear_error() {
+        let err = Portfolio::of_names(["eblow1d@"]).err().unwrap();
+        assert!(
+            err.contains("empty strategy backend"),
+            "error must explain the problem, got: {err}"
+        );
+        assert!(err.contains("eblow1d@"), "error must name the offender");
+    }
+
+    /// When `supports()` filters out every strategy, the outcome must be
+    /// distinguishable from a race that ran and found nothing.
+    #[test]
+    fn unsupported_everywhere_is_a_distinct_outcome() {
+        // 1M-1 has 1000 × 25 = 25 000 cells, over the simplex cutoff, so a
+        // simplex-only portfolio has nothing to run.
+        let big = eblow_gen::benchmark(eblow_gen::Family::M1(1));
+        let portfolio = Portfolio::of_names(["eblow1d@simplex"]).unwrap();
+        let outcome = portfolio.run(&big, &PortfolioConfig::default());
+        assert!(outcome.no_strategy_supports());
+        assert_eq!(outcome.supported, 0);
+        assert!(outcome.best.is_none());
+        assert_eq!(outcome.reports.len(), 1);
+        assert_eq!(outcome.reports[0].status, StrategyStatus::Unsupported);
+        // A race that actually runs is not confusable with it.
+        let tiny = eblow_gen::generate(&GenConfig::tiny_1d(24));
+        let ran = Portfolio::of_names(["greedy1d"])
+            .unwrap()
+            .run(&tiny, &PortfolioConfig::default());
+        assert!(!ran.no_strategy_supports());
+        assert_eq!(ran.supported, 1);
     }
 
     #[test]

@@ -34,11 +34,21 @@ pub struct StrategyId<'a> {
 
 impl<'a> StrategyId<'a> {
     /// Splits `name` at the first `@` into base and backend.
+    ///
+    /// An empty backend (`"eblow1d@"`) is treated as no backend at all:
+    /// `Some("")` would silently create a registry name and plan-cache
+    /// fingerprint distinct from the bare base, so a trailing `@`
+    /// normalizes to `backend: None` here (and is rejected outright by
+    /// [`strategy_by_name`] and `Portfolio::of_names`).
     pub fn parse(name: &'a str) -> Self {
         match name.split_once('@') {
-            Some((base, backend)) => StrategyId {
+            Some((base, backend)) if !backend.is_empty() => StrategyId {
                 base,
                 backend: Some(backend),
+            },
+            Some((base, _)) => StrategyId {
+                base,
+                backend: None,
             },
             None => StrategyId {
                 base: name,
@@ -392,11 +402,14 @@ impl Strategy for ExactIlp2dStrategy {
 /// Every built-in strategy, 1D then 2D, strongest first within each group.
 ///
 /// The set covers the whole planner zoo of the paper's evaluation plus the
-/// LP-backend variants: `eblow1d@combinatorial`, `eblow1d@simplex`,
-/// `eblow1d-0`, `heuristic1d`, `rowheur1d`, `greedy1d`, `ilp1d`, `eblow2d`,
-/// `sa2d`, `greedy2d`, `ilp2d`. (`eblow1d@scaled` is resolvable by name but
-/// intentionally outside the default race — its coarsened simplex is the
-/// slowest backend and strictly dominated on instances the others accept.)
+/// LP-backend variants and the sharded composites: `eblow1d@combinatorial`,
+/// `eblow1d@simplex`, `eblow1d-0`, `heuristic1d`, `rowheur1d`, `greedy1d`,
+/// `ilp1d`, `shard1d`, `eblow2d`, `sa2d`, `greedy2d`, `ilp2d`, `shard2d`.
+/// (`eblow1d@scaled` is resolvable by name but intentionally outside the
+/// default race — its coarsened simplex is the slowest backend and strictly
+/// dominated on instances the others accept. The shard composites only
+/// enter races on huge instances via their `supports()` candidate-count
+/// gate.)
 pub fn builtin_strategies() -> Vec<Arc<dyn Strategy>> {
     vec![
         Arc::new(Eblow1dStrategy::default()),
@@ -406,20 +419,28 @@ pub fn builtin_strategies() -> Vec<Arc<dyn Strategy>> {
         Arc::new(RowHeuristic1dStrategy),
         Arc::new(Greedy1dStrategy),
         Arc::new(ExactIlp1dStrategy::default()),
+        Arc::new(crate::shard::Shard1dStrategy::new()),
         Arc::new(Eblow2dStrategy::default()),
         Arc::new(Sa2dStrategy::default()),
         Arc::new(Greedy2dStrategy),
         Arc::new(ExactIlp2dStrategy::default()),
+        Arc::new(crate::shard::Shard2dStrategy::new()),
     ]
 }
 
 /// Looks up a strategy by registry name.
 ///
-/// Exact built-in names resolve first. Two aliases are also accepted:
-/// `eblow1d` (the historical name, mapping to the default
-/// `eblow1d@combinatorial`) and the backend-parameterized form
-/// `eblow1d@scaled` (constructed on demand; see [`StrategyId`]).
+/// Exact built-in names resolve first. Beyond those, the
+/// backend-parameterized forms of [`StrategyId`] are constructed on
+/// demand: `eblow1d` (the historical alias for `eblow1d@combinatorial`),
+/// `eblow1d@scaled`, and the sharded composites `shard1d@<inner>` /
+/// `shard2d@<inner>` (where `<inner>` is itself a registry name, e.g.
+/// `shard1d@eblow1d@simplex`). Names with a trailing `@` (an empty
+/// backend) are rejected rather than silently aliased.
 pub fn strategy_by_name(name: &str) -> Option<Arc<dyn Strategy>> {
+    if name.ends_with('@') {
+        return None;
+    }
     if let Some(s) = builtin_strategies().into_iter().find(|s| s.name() == name) {
         return Some(s);
     }
@@ -427,6 +448,10 @@ pub fn strategy_by_name(name: &str) -> Option<Arc<dyn Strategy>> {
     match (id.base(), id.backend()) {
         ("eblow1d", None) => Some(Arc::new(Eblow1dStrategy::default())),
         ("eblow1d", Some("scaled")) => Some(Arc::new(Eblow1dStrategy::scaled())),
+        ("shard1d", Some(inner)) => crate::shard::Shard1dStrategy::with_inner(inner)
+            .map(|s| Arc::new(s) as Arc<dyn Strategy>),
+        ("shard2d", Some(inner)) => crate::shard::Shard2dStrategy::with_inner(inner)
+            .map(|s| Arc::new(s) as Arc<dyn Strategy>),
         _ => None,
     }
 }
@@ -494,6 +519,43 @@ mod tests {
         assert_eq!(bare.base(), "greedy1d");
         assert_eq!(bare.backend(), None);
         assert_eq!(bare.to_string(), "greedy1d");
+    }
+
+    /// Regression: `parse("eblow1d@")` used to yield `backend: Some("")`,
+    /// which silently created a registry name and cache fingerprint
+    /// distinct from the bare `eblow1d`.
+    #[test]
+    fn empty_backend_normalizes_to_none_and_is_rejected_by_lookup() {
+        let id = StrategyId::parse("eblow1d@");
+        assert_eq!(id.base(), "eblow1d");
+        assert_eq!(id.backend(), None);
+        assert_eq!(id.to_string(), "eblow1d");
+        // The registry refuses the malformed spelling outright.
+        assert!(strategy_by_name("eblow1d@").is_none());
+        assert!(strategy_by_name("shard1d@").is_none());
+    }
+
+    #[test]
+    fn shard_composites_resolve_from_the_registry() {
+        for name in [
+            "shard1d",
+            "shard1d@greedy1d",
+            "shard1d@eblow1d@simplex",
+            "shard2d",
+            "shard2d@greedy2d",
+        ] {
+            let s = strategy_by_name(name).unwrap_or_else(|| panic!("{name} not resolvable"));
+            assert_eq!(s.name(), name);
+        }
+        // Both spellings of the default LP backend canonicalize to one
+        // composite name (mirroring the bare `eblow1d` alias).
+        assert_eq!(
+            strategy_by_name("shard1d@eblow1d").unwrap().name(),
+            "shard1d@eblow1d@combinatorial"
+        );
+        assert!(strategy_by_name("shard1d@bogus").is_none());
+        assert!(strategy_by_name("shard1d@shard1d").is_none(), "no nesting");
+        assert!(strategy_by_name("shard2d@eblow1d").is_none(), "wrong dim");
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Acceptance and property tests for sharded planning.
+//!
+//! The property test drives the model-layer split/stitch API directly
+//! (deterministic generator seeds, greedy per-shard planner) and pins the
+//! two stitching invariants the `shard1d` composite relies on:
+//!
+//! 1. a stitched sharded plan always validates on the original instance;
+//! 2. its objective dominates every single shard's contribution — the
+//!    stitched selection is the union of the shard selections (duplicates
+//!    keep one slot), so its summed writing-time reduction is at least any
+//!    single shard's contribution sum; reconciliation can only *drop
+//!    duplicate copies*, never a character's last copy.
+
+use eblow_engine::{Budget, Portfolio, PortfolioConfig, Shard1dStrategy, ShardConfig, Strategy};
+use eblow_gen::GenConfig;
+use eblow_model::shard::{stitch_1d, SubInstance};
+use eblow_model::{Instance, Selection};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn mid_1d(seed: u64) -> Instance {
+    eblow_gen::generate(&GenConfig {
+        n_chars: 120,
+        n_regions: 4,
+        stencil_w: 400,
+        stencil_h: 240,
+        row_height: Some(40),
+        ..GenConfig::tiny_1d(seed)
+    })
+}
+
+fn reduction_of(instance: &Instance, selected: impl Iterator<Item = usize>) -> u64 {
+    selected.map(|i| instance.total_reduction(i)).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Split → plan-per-shard → stitch, with deliberately overlapping
+    /// candidate subsets so duplicate reconciliation actually fires.
+    #[test]
+    fn stitched_plans_validate_and_dominate_every_shard(
+        seed in 0u64..400,
+        k in 2usize..5,
+        overlap in 0usize..16,
+    ) {
+        let inst = mid_1d(seed);
+        let n = inst.num_chars();
+        let total_rows = inst.num_rows().unwrap();
+        let k = k.min(total_rows);
+
+        // Round-robin partition, plus the first `overlap` candidates
+        // duplicated into every shard (the border-candidate situation of
+        // the per-region split).
+        let mut char_sets: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for i in 0..n {
+            char_sets[i % k].push(i);
+        }
+        for set in &mut char_sets {
+            for i in 0..overlap {
+                if !set.contains(&i) {
+                    set.push(i);
+                }
+            }
+        }
+        let base = total_rows / k;
+        let subs: Vec<SubInstance> = char_sets
+            .iter()
+            .enumerate()
+            .map(|(g, chars)| {
+                let rows = if g == k - 1 { total_rows - g * base } else { base };
+                SubInstance::extract_rows(&inst, chars, g * base, rows).unwrap()
+            })
+            .collect();
+
+        let plans: Vec<_> = subs
+            .iter()
+            .map(|s| eblow_core::baselines::greedy_1d(s.instance()).unwrap())
+            .collect();
+        let parts: Vec<_> = subs.iter().zip(plans.iter().map(|p| &p.placement)).collect();
+        let stitched = stitch_1d(&inst, &parts).unwrap();
+
+        // Invariant 1: validates on the original (stitch_1d validates
+        // internally; re-check through the public placement too).
+        stitched.placement.validate(&inst).unwrap();
+
+        // Invariant 2: the stitched objective is at least every single
+        // shard's contribution sum, measured on the original instance.
+        let stitched_reduction =
+            reduction_of(&inst, stitched.selection.iter_selected());
+        for (sub, plan) in subs.iter().zip(&plans) {
+            let shard_contribution = reduction_of(
+                &inst,
+                plan.selection
+                    .iter_selected()
+                    .map(|local| sub.to_original(local).unwrap()),
+            );
+            prop_assert!(
+                stitched_reduction >= shard_contribution,
+                "stitched {} < shard contribution {}",
+                stitched_reduction,
+                shard_contribution
+            );
+        }
+
+        // Reconciliation accounting: duplicates can only come from the
+        // overlapped prefix, each dropped copy leaving one survivor.
+        if overlap == 0 {
+            prop_assert_eq!(stitched.duplicates_dropped, 0);
+        }
+        let empty = inst.total_writing_time(&Selection::none(n));
+        prop_assert!(inst.total_writing_time(&stitched.selection) <= empty);
+    }
+}
+
+fn small_shard_config() -> ShardConfig {
+    ShardConfig {
+        min_chars: 64,
+        target_shard_chars: 32,
+        max_shards: 4,
+        ..ShardConfig::default()
+    }
+}
+
+/// The composite strategy end to end under an outer portfolio deadline:
+/// the stitched plan must validate and arrive within the deadline margin.
+#[test]
+fn shard1d_races_under_a_deadline_and_validates() {
+    let inst = mid_1d(7);
+    let shard = Shard1dStrategy::new().with_config(small_shard_config());
+    let portfolio = Portfolio::new(vec![std::sync::Arc::new(shard)]);
+    let deadline = Duration::from_millis(1500);
+    let outcome = portfolio.run(
+        &inst,
+        &PortfolioConfig {
+            deadline: Some(deadline),
+            ..Default::default()
+        },
+    );
+    assert_eq!(outcome.supported, 1);
+    let best = outcome.best.as_ref().expect("a stitched plan");
+    best.validate(&inst).unwrap();
+    assert!(
+        outcome.elapsed <= deadline + Duration::from_millis(750),
+        "sharded race took {:?} against {:?}",
+        outcome.elapsed,
+        deadline
+    );
+}
+
+/// The sharded composite must beat (or match) its own weakest inner
+/// strategy run monolithically — the split + per-shard race + top-up may
+/// not destroy quality relative to a single greedy pass.
+#[test]
+fn shard1d_matches_or_beats_monolithic_greedy() {
+    for seed in [11u64, 12, 13] {
+        let inst = mid_1d(seed);
+        let sharded = Shard1dStrategy::with_inner("greedy1d")
+            .unwrap()
+            .with_config(small_shard_config())
+            .plan(&inst, &Budget::unlimited())
+            .unwrap();
+        sharded.validate(&inst).unwrap();
+        let mono = eblow_core::baselines::greedy_1d(&inst).unwrap();
+        // Not a strict dominance theorem — but on these balanced
+        // instances the shard split plus top-up reconciliation should
+        // never lose more than a few percent to the monolithic greedy.
+        assert!(
+            (sharded.total_time as f64) <= mono.total_time as f64 * 1.05,
+            "seed {seed}: sharded {} ≫ monolithic {}",
+            sharded.total_time,
+            mono.total_time
+        );
+    }
+}

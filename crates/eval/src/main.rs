@@ -20,7 +20,17 @@
 //!                                   relative (default 0.05) on the
 //!                                   reference instances, and both
 //!                                   backends' rounded plans must validate
-//! eblow-eval all [--ilp-limit-s N]  everything above
+//! eblow-eval shard [--deadline-s N] [--case NAME]
+//!                  [--assert-no-worse-than-monolithic] [--assert-within-ms N]
+//!                                   sharded (shard1d/shard2d) vs monolithic
+//!                                   planning on the huge (1H/2H) cases
+//!                                   under equal deadlines; optionally
+//!                                   failing the process if the stitched
+//!                                   plan is worse than the monolithic
+//!                                   race's or misses the deadline margin
+//! eblow-eval all [--ilp-limit-s N]  everything above except shard (the
+//!                                   huge cases are not part of the
+//!                                   paper's suite)
 //! ```
 //!
 //! Tables 3 and 4 run every method through the `eblow-engine` strategy
@@ -217,6 +227,134 @@ fn portfolio(deadline: Duration, case: Option<&str>, assert_within: Option<Durat
             eprintln!("FAIL: unknown case {c:?}");
             std::process::exit(2);
         }
+    }
+}
+
+/// Compares sharded against monolithic planning on the huge benchmark
+/// cases under equal deadlines: the `shard1d`/`shard2d` composite races
+/// its shards in parallel while the monolithic portfolio races the
+/// classic planner zoo on the whole instance.
+///
+/// With `assert_no_worse` the process exits non-zero if the stitched plan
+/// is worse (higher `T_total`) than the monolithic race's, and
+/// `assert_within` additionally bounds the sharded race's wall-clock at
+/// `deadline + margin` — together they make this a CI gate for the
+/// sharding path.
+fn shard_cmd(
+    deadline: Duration,
+    case: Option<&str>,
+    assert_no_worse: bool,
+    assert_within: Option<Duration>,
+) {
+    println!();
+    println!(
+        "== Sharded vs monolithic planning (deadline {:.1}s per case) ==",
+        deadline.as_secs_f64()
+    );
+    println!(
+        "{:6} {:>6} | {:>12} {:>6} {:>8} | {:>12} {:>6} {:>8} | {:>8}",
+        "case", "cand#", "T(shard)", "char#", "race(s)", "T(mono)", "char#", "race(s)", "T ratio"
+    );
+    let config = PortfolioConfig {
+        deadline: Some(deadline),
+        ..Default::default()
+    };
+    let mut ran = 0usize;
+    let mut failed = false;
+    for family in [Family::H1(1), Family::H2(1)] {
+        let name = family.name();
+        if case.is_some_and(|c| c != name) {
+            continue;
+        }
+        ran += 1;
+        let inst = eblow_gen::benchmark(family);
+        let is_1d = inst.num_rows().is_ok();
+        let mono_names: &[&str] = if is_1d {
+            &[
+                "eblow1d@combinatorial",
+                "heuristic1d",
+                "rowheur1d",
+                "greedy1d",
+            ]
+        } else {
+            &["eblow2d", "sa2d", "greedy2d"]
+        };
+        let shard_name = if is_1d { "shard1d" } else { "shard2d" };
+        let sharded = Portfolio::of_names([shard_name])
+            .expect("registry name")
+            .run(&inst, &config);
+        let mono = Portfolio::of_names(mono_names.iter().copied())
+            .expect("registry names")
+            .run(&inst, &config);
+        let Some(shard_best) = &sharded.best else {
+            eprintln!("FAIL: {name}: {shard_name} produced no valid plan");
+            failed = true;
+            continue;
+        };
+        shard_best
+            .validate(&inst)
+            .unwrap_or_else(|e| panic!("{name}: stitched plan invalid: {e}"));
+        let (mono_t, mono_c) = match &mono.best {
+            Some(b) => (b.total_time.to_string(), b.selection.count().to_string()),
+            None => ("NA".into(), "NA".into()),
+        };
+        let ratio = mono
+            .best
+            .as_ref()
+            .map(|b| shard_best.total_time as f64 / b.total_time.max(1) as f64);
+        println!(
+            "{:6} {:>6} | {:>12} {:>6} {:>8.3} | {:>12} {:>6} {:>8.3} | {:>8}",
+            name,
+            inst.num_chars(),
+            shard_best.total_time,
+            shard_best.selection.count(),
+            sharded.elapsed.as_secs_f64(),
+            mono_t,
+            mono_c,
+            mono.elapsed.as_secs_f64(),
+            ratio.map_or("-".into(), |r| format!("{r:.3}")),
+        );
+        if let Some(margin) = assert_within {
+            let budget = deadline + margin;
+            if sharded.elapsed > budget {
+                eprintln!(
+                    "FAIL: {name}: sharded race took {:.3}s, budget {:.3}s",
+                    sharded.elapsed.as_secs_f64(),
+                    budget.as_secs_f64()
+                );
+                failed = true;
+            }
+        }
+        if assert_no_worse {
+            match &mono.best {
+                Some(mono_best) => {
+                    if shard_best.total_time > mono_best.total_time {
+                        eprintln!(
+                            "FAIL: {name}: stitched T_total {} worse than monolithic {}",
+                            shard_best.total_time, mono_best.total_time
+                        );
+                        failed = true;
+                    }
+                }
+                // A missing baseline is a failure, not a free pass: the
+                // gate is defined *against* the monolithic race, so a
+                // regression that breaks the monolithic planners must not
+                // turn this check vacuous.
+                None => {
+                    eprintln!("FAIL: {name}: monolithic race produced no plan to compare against");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if let Some(c) = case {
+        if ran == 0 {
+            eprintln!("FAIL: unknown case {c:?} (huge cases: 1H-1, 2H-1)");
+            std::process::exit(2);
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 
@@ -479,6 +617,9 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(0.05);
+    let assert_no_worse = args
+        .iter()
+        .any(|a| a == "--assert-no-worse-than-monolithic");
 
     match cmd {
         "table3" => table3(),
@@ -489,6 +630,7 @@ fn main() {
         "fig11" | "fig12" => fig11_12(),
         "portfolio" => portfolio(deadline, case, assert_within),
         "agree" => agree(tol_rel),
+        "shard" => shard_cmd(deadline, case, assert_no_worse, assert_within),
         "all" => {
             table3();
             table4();
@@ -502,8 +644,9 @@ fn main() {
         other => {
             eprintln!("unknown command {other:?}");
             eprintln!(
-                "usage: eblow-eval [table3|table4|table5|fig5|fig6|fig11|fig12|portfolio|agree|all] \
-                 [--ilp-limit-s N] [--deadline-s N] [--case NAME] [--assert-within-ms N] [--tol-rel X]"
+                "usage: eblow-eval [table3|table4|table5|fig5|fig6|fig11|fig12|portfolio|agree|shard|all] \
+                 [--ilp-limit-s N] [--deadline-s N] [--case NAME] [--assert-within-ms N] [--tol-rel X] \
+                 [--assert-no-worse-than-monolithic]"
             );
             std::process::exit(2);
         }

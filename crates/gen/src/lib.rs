@@ -108,6 +108,45 @@ impl GenConfig {
         }
     }
 
+    /// A huge multi-region 1D workload (12 000 candidates, 10 CPs) — the
+    /// scale the sharded `shard1d` composite targets. Far beyond the
+    /// paper's benchmark suite, but the same character statistics.
+    pub fn huge_1d(seed: u64) -> Self {
+        GenConfig {
+            n_chars: 12_000,
+            n_regions: 10,
+            stencil_w: 2500,
+            stencil_h: 2000,
+            row_height: Some(40),
+            width: (24, 48),
+            height: (40, 40),
+            blank: (2, 10),
+            symmetric_blanks: false,
+            shots: (2, 60),
+            repeats: (0, 50),
+            seed,
+        }
+    }
+
+    /// A huge multi-region 2D workload (10 000 candidates, 10 CPs) for the
+    /// sharded `shard2d` composite.
+    pub fn huge_2d(seed: u64) -> Self {
+        GenConfig {
+            n_chars: 10_000,
+            n_regions: 10,
+            stencil_w: 2500,
+            stencil_h: 2500,
+            row_height: None,
+            width: (24, 48),
+            height: (25, 55),
+            blank: (2, 10),
+            symmetric_blanks: false,
+            shots: (2, 60),
+            repeats: (0, 50),
+            seed,
+        }
+    }
+
     /// A small 2D smoke-test configuration.
     pub fn tiny_2d(seed: u64) -> Self {
         GenConfig {
@@ -246,6 +285,12 @@ pub enum Family {
     T1(u8),
     /// `2T-k`, k ∈ 1..=4 — tiny 2DOSP exact-ILP cases (6..12 candidates).
     T2(u8),
+    /// `1H-k`, k ∈ 1..=2 — huge 1DOSP MCC cases (12 000 candidates,
+    /// 10 CPs) for sharded planning; not part of the paper's suite.
+    H1(u8),
+    /// `2H-k`, k ∈ 1..=2 — huge 2DOSP MCC cases (10 000 candidates,
+    /// 10 CPs) for sharded planning; not part of the paper's suite.
+    H2(u8),
 }
 
 impl Family {
@@ -258,6 +303,8 @@ impl Family {
             Family::M2(k) => format!("2M-{k}"),
             Family::T1(k) => format!("1T-{k}"),
             Family::T2(k) => format!("2T-{k}"),
+            Family::H1(k) => format!("1H-{k}"),
+            Family::H2(k) => format!("2H-{k}"),
         }
     }
 }
@@ -389,6 +436,14 @@ pub fn benchmark(family: Family) -> Instance {
                 seed: 0x2700 + k as u64,
             }
         }
+        Family::H1(k) => {
+            assert!((1..=2).contains(&k), "1H-k has k in 1..=2");
+            GenConfig::huge_1d(0x1800 + k as u64)
+        }
+        Family::H2(k) => {
+            assert!((1..=2).contains(&k), "2H-k has k in 1..=2");
+            GenConfig::huge_2d(0x2800 + k as u64)
+        }
     };
     generate(&cfg)
 }
@@ -478,6 +533,20 @@ mod tests {
         assert_eq!(inst.num_chars(), 12);
         assert!(inst.num_rows().is_err());
         assert_eq!(inst.stencil().width(), 100);
+    }
+
+    #[test]
+    fn huge_families_are_mcc_scale() {
+        let h1 = benchmark(Family::H1(1));
+        assert!(h1.num_chars() >= 10_000);
+        assert_eq!(h1.num_regions(), 10);
+        assert_eq!(h1.num_rows().unwrap(), 50);
+        assert_eq!(h1, benchmark(Family::H1(1)), "deterministic");
+        let h2 = benchmark(Family::H2(1));
+        assert!(h2.num_chars() >= 10_000);
+        assert!(h2.num_rows().is_err(), "2H is free-form");
+        assert_eq!(Family::H1(2).name(), "1H-2");
+        assert_eq!(Family::H2(1).name(), "2H-1");
     }
 
     #[test]

@@ -100,6 +100,16 @@ pub enum ModelError {
         /// Expected length (number of characters).
         expected: usize,
     },
+    /// A shard band lies outside (or degenerately inside) its parent
+    /// instance's stencil.
+    ShardBand {
+        /// Start of the band (row index for 1D bands, µm for 2D slices).
+        start: u64,
+        /// Extent of the band (rows for 1D bands, µm for 2D slices).
+        extent: u64,
+        /// Available extent in the parent (rows or µm).
+        available: u64,
+    },
     /// Failure while parsing the text instance format.
     Parse {
         /// 1-based line number.
@@ -181,6 +191,14 @@ impl fmt::Display for ModelError {
             ModelError::SelectionLength { got, expected } => {
                 write!(f, "selection mask has length {got}, expected {expected}")
             }
+            ModelError::ShardBand {
+                start,
+                extent,
+                available,
+            } => write!(
+                f,
+                "shard band [{start}, {start}+{extent}) lies outside the parent extent {available}"
+            ),
             ModelError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }

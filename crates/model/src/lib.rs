@@ -53,6 +53,7 @@ pub mod overlap;
 mod placement1d;
 mod placement2d;
 mod selection;
+pub mod shard;
 pub mod simulate;
 
 pub use character::{Blanks, CharId, Character};
@@ -62,3 +63,4 @@ pub use instance::{Instance, Stencil};
 pub use placement1d::{Placement1d, Row};
 pub use placement2d::{PlacedChar, Placement2d};
 pub use selection::Selection;
+pub use shard::{stitch_1d, stitch_2d, Stitched1d, Stitched2d, SubInstance};
