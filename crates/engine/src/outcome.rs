@@ -75,6 +75,13 @@ pub struct PlanOutcome {
     pub total_time: u64,
     /// Wall-clock time of the planning run.
     pub elapsed: Duration,
+    /// Whether this plan was degraded by an *internal* deadline even
+    /// though the caller's budget never fired — a composite strategy (the
+    /// shard fan-out) slices its own sub-deadlines, and a sub-race torn
+    /// down mid-run yields a weaker stitch. The portfolio folds this into
+    /// its cancelled accounting so the plan cache's
+    /// never-cache-degraded-races rule sees through composites.
+    pub degraded: bool,
     /// The physical placement.
     pub detail: PlanDetail,
 }
@@ -88,6 +95,7 @@ impl PlanOutcome {
             region_times: plan.region_times.clone(),
             total_time: plan.total_time,
             elapsed: plan.elapsed,
+            degraded: false,
             detail: PlanDetail::OneD(plan),
         }
     }
@@ -100,8 +108,16 @@ impl PlanOutcome {
             region_times: plan.region_times.clone(),
             total_time: plan.total_time,
             elapsed: plan.elapsed,
+            degraded: false,
             detail: PlanDetail::TwoD(plan),
         }
+    }
+
+    /// Marks this plan as (possibly) degraded by an internal deadline —
+    /// see [`PlanOutcome::degraded`].
+    pub fn with_degraded(mut self, degraded: bool) -> Self {
+        self.degraded = degraded;
+        self
     }
 
     /// Re-validates this plan against `instance`: the placement must pass

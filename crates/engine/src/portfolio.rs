@@ -194,6 +194,13 @@ impl Portfolio {
         &self.strategies
     }
 
+    /// Registry names of the portfolio's strategies, in portfolio order
+    /// (the order that breaks race ties, fingerprints the plan cache, and
+    /// labels reports).
+    pub fn names(&self) -> Vec<&'static str> {
+        self.strategies.iter().map(|s| s.name()).collect()
+    }
+
     /// Races the supporting strategies on `instance` under `config`.
     ///
     /// One OS thread per strategy; when the deadline passes, the shared
@@ -254,7 +261,13 @@ impl Portfolio {
                     let result = strategy
                         .plan(instance, &budget)
                         .and_then(|outcome| outcome.validate(instance).map(|()| outcome));
-                    let cancelled = budget.is_cancelled();
+                    // A composite strategy can be degraded by its *own*
+                    // internal sub-deadlines without this race's budget
+                    // ever firing; treat that exactly like a cancellation
+                    // so `complete()` (and therefore the plan cache's
+                    // never-cache-degraded rule) sees through it.
+                    let cancelled = budget.is_cancelled()
+                        || result.as_ref().is_ok_and(|outcome| outcome.degraded);
                     // A closed channel means the receiver gave up; nothing
                     // useful to do from a worker thread.
                     let _ = tx.send((i, result, cancelled, started.elapsed()));
@@ -403,6 +416,38 @@ mod tests {
             .run(&tiny, &PortfolioConfig::default());
         assert!(!ran.no_strategy_supports());
         assert_eq!(ran.supported, 1);
+    }
+
+    /// A strategy that returns a valid plan but flags it as internally
+    /// degraded (the shard composites do this when a sliced sub-deadline
+    /// fires without the outer budget ever noticing).
+    struct InternallyDegraded;
+
+    impl crate::Strategy for InternallyDegraded {
+        fn name(&self) -> &'static str {
+            "degraded"
+        }
+        fn supports(&self, _instance: &Instance) -> bool {
+            true
+        }
+        fn plan(&self, instance: &Instance, _budget: &Budget) -> Result<PlanOutcome, EngineError> {
+            let plan = eblow_core::baselines::greedy_1d(instance)?;
+            Ok(PlanOutcome::from_1d(self.name(), plan).with_degraded(true))
+        }
+    }
+
+    /// Regression: a composite's internal sub-deadline degradation must
+    /// surface as a cancelled report even when this race's own budget
+    /// never fired — otherwise `complete()` holds and the plan cache pins
+    /// the degraded plan forever.
+    #[test]
+    fn internally_degraded_plans_mark_the_race_incomplete() {
+        let inst = eblow_gen::generate(&GenConfig::tiny_1d(25));
+        let portfolio = Portfolio::new(vec![Arc::new(InternallyDegraded)]);
+        let outcome = portfolio.run(&inst, &PortfolioConfig::default());
+        assert!(outcome.best.is_some(), "the degraded plan still serves");
+        assert!(outcome.reports[0].cancelled);
+        assert!(!outcome.complete(), "degraded ⇒ not cacheable");
     }
 
     #[test]

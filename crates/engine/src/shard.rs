@@ -5,8 +5,8 @@
 //! into disjoint row bands. The shard strategies exploit this: a huge
 //! instance (tens of thousands of candidates) is split into per-region /
 //! per-row-band [`SubInstance`]s, each shard races the *existing*
-//! portfolio machinery in parallel under a proportional slice of the
-//! deadline, and the sub-plans stitch back into one placement on the
+//! portfolio machinery in parallel under the full remaining deadline
+//! window, and the sub-plans stitch back into one placement on the
 //! original instance (`eblow_model::shard`), followed by a reconciliation
 //! pass:
 //!
@@ -37,11 +37,16 @@ use std::time::{Duration, Instant};
 
 /// Tunables of the shard composite strategies.
 ///
-/// The split itself is a deterministic function of the instance and this
-/// configuration, so the plan cache (which keys on the instance digest plus
-/// the strategy name) always refers to one well-defined shard split. Custom
-/// configurations must therefore be registered under their own strategy
-/// name — see [`Shard1dStrategy::with_config`].
+/// Under an unlimited budget the split is a deterministic function of the
+/// instance and this configuration, so the plan cache (which keys on the
+/// instance digest plus the strategy name) always refers to one
+/// well-defined shard split. Deadline runs with [`ShardConfig::adaptive`]
+/// additionally fold in the selection model's measured throughput (the
+/// shard count tracks how much the inner strategies can chew within the
+/// window) — such races are only cached when they complete undegraded,
+/// exactly like any other deadline race. Custom configurations must be
+/// registered under their own strategy name — see
+/// [`Shard1dStrategy::with_config`].
 #[derive(Debug, Clone)]
 pub struct ShardConfig {
     /// `supports()` gate: instances with fewer candidates are left to the
@@ -49,8 +54,19 @@ pub struct ShardConfig {
     pub min_chars: usize,
     /// Preferred candidate count per shard; the shard count is
     /// `ceil(n / target_shard_chars)` clamped to `2..=max_shards` (and to
-    /// the available rows / region count).
+    /// the available rows / region count). With [`ShardConfig::adaptive`]
+    /// set this is only the fallback for deadline-free runs — deadline runs
+    /// derive the target from measured throughput instead.
     pub target_shard_chars: usize,
+    /// Derive the per-shard candidate target from the selection model's
+    /// measured throughput (`eblow_engine::select`): a shard should hold
+    /// about as many candidates as the slowest inner strategy can chew
+    /// within the remaining deadline window, so the quality member of each
+    /// shard's race finishes instead of being cancelled mid-run. Only
+    /// applies when a deadline window is known; unlimited budgets use the
+    /// fixed `target_shard_chars` (keeping deadline-free runs exactly
+    /// reproducible).
+    pub adaptive: bool,
     /// Hard cap on the number of shards (each shard races the inner
     /// portfolio on its own OS threads). Sharding needs at least two
     /// shards to mean anything, so values below 2 disable the strategy
@@ -67,16 +83,36 @@ pub struct ShardConfig {
     pub stitch_reserve: Duration,
 }
 
+/// Default `supports()` gate of the shard composites: below this many
+/// candidates the monolithic strategies are left alone. Referenced by the
+/// selection model's priors so the feature-predicted gate and the
+/// `supports()` gate cannot drift apart.
+pub const SHARD_DEFAULT_MIN_CHARS: usize = 5000;
+
 impl Default for ShardConfig {
     fn default() -> Self {
         ShardConfig {
-            min_chars: 5000,
+            min_chars: SHARD_DEFAULT_MIN_CHARS,
             target_shard_chars: 2000,
+            adaptive: true,
             max_shards: 8,
             duplicate_share: 0.25,
             stitch_reserve: Duration::from_millis(150),
         }
     }
+}
+
+/// Sorts candidate indices by descending profit density
+/// (`total_reduction / size`, where `size` is the width for 1D and the
+/// area for 2D), index-ascending on ties. The one density definition the
+/// splits and the stitch top-up all share — a change to the density rule
+/// or the determinism tie-break lands everywhere at once.
+fn sort_by_density_desc(order: &mut [usize], instance: &Instance, size: impl Fn(usize) -> u64) {
+    order.sort_by(|&a, &b| {
+        let da = instance.total_reduction(a) as f64 / size(a).max(1) as f64;
+        let db = instance.total_reduction(b) as f64 / size(b).max(1) as f64;
+        db.total_cmp(&da).then(a.cmp(&b))
+    });
 }
 
 /// One shard of a 1D split: a candidate subset and a stencil row band.
@@ -105,14 +141,18 @@ fn gates_1d(instance: &Instance, config: &ShardConfig) -> bool {
         && instance.num_rows().is_ok_and(|r| r >= 2)
 }
 
-fn split_1d(instance: &Instance, config: &ShardConfig) -> Option<Vec<ShardSpec1d>> {
+fn split_1d(
+    instance: &Instance,
+    config: &ShardConfig,
+    target_chars: usize,
+) -> Option<Vec<ShardSpec1d>> {
     if !gates_1d(instance, config) {
         return None;
     }
     let total_rows = instance.num_rows().ok()?;
     let n = instance.num_chars();
     let k = n
-        .div_ceil(config.target_shard_chars.max(1))
+        .div_ceil(target_chars.max(1))
         .clamp(2, config.max_shards.min(total_rows));
     let regions = instance.num_regions();
 
@@ -153,11 +193,7 @@ fn split_1d(instance: &Instance, config: &ShardConfig) -> Option<Vec<ShardSpec1d
         // Single region: deal candidates round-robin in density order so
         // every shard gets a similar profit mix.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            let da = instance.total_reduction(a) as f64 / instance.char(a).width().max(1) as f64;
-            let db = instance.total_reduction(b) as f64 / instance.char(b).width().max(1) as f64;
-            db.total_cmp(&da).then(a.cmp(&b))
-        });
+        sort_by_density_desc(&mut order, instance, |i| instance.char(i).width());
         let mut shard_chars: Vec<Vec<usize>> = vec![Vec::new(); k];
         for (pos, i) in order.into_iter().enumerate() {
             shard_chars[pos % k].push(i);
@@ -232,7 +268,11 @@ fn band_cap_2d(instance: &Instance) -> Option<usize> {
     Some((instance.stencil().height() / max_char_h.max(1)) as usize)
 }
 
-fn split_2d(instance: &Instance, config: &ShardConfig) -> Option<Vec<ShardSpec2d>> {
+fn split_2d(
+    instance: &Instance,
+    config: &ShardConfig,
+    target_chars: usize,
+) -> Option<Vec<ShardSpec2d>> {
     if !gates_2d(instance, config) {
         return None;
     }
@@ -240,14 +280,10 @@ fn split_2d(instance: &Instance, config: &ShardConfig) -> Option<Vec<ShardSpec2d
     let height = instance.stencil().height();
     let band_cap = band_cap_2d(instance)?;
     let k = n
-        .div_ceil(config.target_shard_chars.max(1))
+        .div_ceil(target_chars.max(1))
         .clamp(2, config.max_shards.min(band_cap));
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        let da = instance.total_reduction(a) as f64 / instance.char(a).area().max(1) as f64;
-        let db = instance.total_reduction(b) as f64 / instance.char(b).area().max(1) as f64;
-        db.total_cmp(&da).then(a.cmp(&b))
-    });
+    sort_by_density_desc(&mut order, instance, |i| instance.char(i).area());
     let mut shard_chars: Vec<Vec<usize>> = vec![Vec::new(); k];
     for (pos, i) in order.into_iter().enumerate() {
         shard_chars[pos % k].push(i);
@@ -266,34 +302,79 @@ fn split_2d(instance: &Instance, config: &ShardConfig) -> Option<Vec<ShardSpec2d
     Some(specs)
 }
 
+/// Bounds on the adaptive per-shard candidate target: below the floor the
+/// stitch/fan-out overhead dominates any shard; the ceiling only guards
+/// against a pathological measured throughput.
+const ADAPTIVE_TARGET_FLOOR: usize = 256;
+const ADAPTIVE_TARGET_CEIL: usize = 1 << 20;
+
+/// The throughput-derived per-shard candidate target (the ROADMAP's
+/// "adaptive shard counts"): the number of candidates the *slowest* inner
+/// strategy — the quality member whose finish decides a shard's plan — is
+/// predicted to process within `window`, per the selection model's
+/// measured (prior-blended) throughput. Shards race in parallel, so each
+/// shard sees the full window.
+fn adaptive_target_chars(
+    inner: &Portfolio,
+    model: &crate::select::SelectionModel,
+    window: Duration,
+    fallback: usize,
+) -> usize {
+    let throughput = inner
+        .strategies()
+        .iter()
+        .map(|s| model.throughput(s.name()))
+        .fold(f64::INFINITY, f64::min);
+    if !throughput.is_finite() || throughput <= 0.0 {
+        return fallback;
+    }
+    let secs = window.as_secs_f64().max(0.05);
+    ((throughput * secs) as usize).clamp(ADAPTIVE_TARGET_FLOOR, ADAPTIVE_TARGET_CEIL)
+}
+
+/// Resolves the per-shard candidate target for one `plan()` call: the
+/// throughput-adaptive value when enabled and a deadline window exists,
+/// the fixed configuration value otherwise.
+fn resolve_target_chars(inner: &Portfolio, config: &ShardConfig, budget: &Budget) -> usize {
+    if !config.adaptive {
+        return config.target_shard_chars;
+    }
+    match budget.remaining() {
+        Some(remaining) => {
+            let window = remaining.saturating_sub(config.stitch_reserve);
+            let model = crate::select::shared_model();
+            let guard = model.lock().expect("selection model lock");
+            adaptive_target_chars(inner, &guard, window, config.target_shard_chars)
+        }
+        None => config.target_shard_chars,
+    }
+}
+
 /// Races the inner portfolio on every shard in parallel.
 ///
-/// Each shard gets its own [`Budget`] whose deadline is a slice of the
-/// remaining window proportional to the shard's candidate share (the
-/// largest shard gets the whole window; smaller shards proportionally
-/// less, floored at 20%), minus the stitch reserve. The outer budget's
-/// stop flag is propagated to every shard budget by a 10 ms watchdog, so
-/// an engine-level cancellation tears the whole fan-out down cooperatively.
+/// Each shard gets its own [`Budget`] over the *full* remaining window
+/// minus the stitch reserve: shards race concurrently from t = 0, so
+/// slicing the window per shard would cancel small shards early while
+/// cores sit idle — and since a fired shard deadline marks the stitched
+/// plan degraded (uncacheable), every shard deserves the whole window and
+/// degradation only means a shard genuinely ran out of time. The outer
+/// budget's stop flag is propagated to every shard budget by a 10 ms
+/// watchdog, so an engine-level cancellation tears the whole fan-out down
+/// cooperatively. Returns each shard's best outcome plus whether *any*
+/// shard budget was cancelled (its deadline fired or the outer stop
+/// propagated) — the composite's plan is then possibly degraded even when
+/// the caller's own budget never fired, and the caller must say so.
 fn race_shards(
     inner: &Portfolio,
     subs: &[SubInstance],
     budget: &Budget,
     reserve: Duration,
-) -> Vec<Option<PlanOutcome>> {
+) -> (Vec<Option<PlanOutcome>>, bool) {
     let window = budget.remaining().map(|r| r.saturating_sub(reserve));
-    let max_n = subs
-        .iter()
-        .map(|s| s.instance().num_chars())
-        .max()
-        .unwrap_or(1)
-        .max(1);
     let budgets: Vec<Budget> = subs
         .iter()
-        .map(|s| match window {
-            Some(w) => {
-                let share = s.instance().num_chars() as f64 / max_n as f64;
-                Budget::with_deadline(w.mul_f64(share.max(0.2)))
-            }
+        .map(|_| match window {
+            Some(w) => Budget::with_deadline(w),
             None => Budget::unlimited(),
         })
         .collect();
@@ -327,7 +408,8 @@ fn race_shards(
                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
         }
-        outs
+        let any_cancelled = budgets.iter().any(Budget::is_cancelled);
+        (outs, any_cancelled)
     })
 }
 
@@ -353,11 +435,7 @@ fn top_up_1d(
         .iter_unselected()
         .filter(|&i| instance.total_reduction(i) > 0 && instance.char(i).height() <= row_height)
         .collect();
-    order.sort_by(|&a, &b| {
-        let da = instance.total_reduction(a) as f64 / instance.char(a).width().max(1) as f64;
-        let db = instance.total_reduction(b) as f64 / instance.char(b).width().max(1) as f64;
-        db.total_cmp(&da).then(a.cmp(&b))
-    });
+    sort_by_density_desc(&mut order, instance, |i| instance.char(i).width());
     let mut added = 0usize;
     for i in order {
         if budget.is_cancelled() {
@@ -480,7 +558,8 @@ impl Strategy for Shard1dStrategy {
 
     fn plan(&self, instance: &Instance, budget: &Budget) -> Result<PlanOutcome, EngineError> {
         let started = Instant::now();
-        let specs = split_1d(instance, &self.config).ok_or_else(|| EngineError::Unsupported {
+        let target = resolve_target_chars(&self.inner, &self.config, budget);
+        let specs = split_1d(instance, &self.config, target).ok_or_else(|| EngineError::Unsupported {
             strategy: self.name,
             reason: format!(
                 "instance not shardable (needs a row-structured stencil with ≥ 2 rows and ≥ {} candidates)",
@@ -488,7 +567,8 @@ impl Strategy for Shard1dStrategy {
             ),
         })?;
         let subs = extract_all_1d(instance, &specs)?;
-        let results = race_shards(&self.inner, &subs, budget, self.config.stitch_reserve);
+        let (results, degraded) =
+            race_shards(&self.inner, &subs, budget, self.config.stitch_reserve);
         let parts: Vec<(&SubInstance, &Placement1d)> = subs
             .iter()
             .zip(&results)
@@ -529,7 +609,8 @@ impl Strategy for Shard1dStrategy {
                 elapsed: started.elapsed(),
                 trace: None,
             },
-        ))
+        )
+        .with_degraded(degraded))
     }
 }
 
@@ -596,7 +677,8 @@ impl Strategy for Shard2dStrategy {
 
     fn plan(&self, instance: &Instance, budget: &Budget) -> Result<PlanOutcome, EngineError> {
         let started = Instant::now();
-        let specs = split_2d(instance, &self.config).ok_or_else(|| EngineError::Unsupported {
+        let target = resolve_target_chars(&self.inner, &self.config, budget);
+        let specs = split_2d(instance, &self.config, target).ok_or_else(|| EngineError::Unsupported {
             strategy: self.name,
             reason: format!(
                 "instance not shardable (needs a free-form stencil ≥ 2 bands tall and ≥ {} candidates)",
@@ -610,7 +692,8 @@ impl Strategy for Shard2dStrategy {
                     .map_err(EngineError::Model)
             })
             .collect::<Result<_, _>>()?;
-        let results = race_shards(&self.inner, &subs, budget, self.config.stitch_reserve);
+        let (results, degraded) =
+            race_shards(&self.inner, &subs, budget, self.config.stitch_reserve);
         let parts: Vec<(&SubInstance, &Placement2d)> = subs
             .iter()
             .zip(&results)
@@ -645,7 +728,8 @@ impl Strategy for Shard2dStrategy {
                 total_time,
                 elapsed: started.elapsed(),
             },
-        ))
+        )
+        .with_degraded(degraded))
     }
 }
 
@@ -677,7 +761,8 @@ mod tests {
     #[test]
     fn split_1d_partitions_rows_and_covers_primaries() {
         let inst = small_1d();
-        let specs = split_1d(&inst, &test_config()).expect("shardable");
+        let config = test_config();
+        let specs = split_1d(&inst, &config, config.target_shard_chars).expect("shardable");
         assert!(specs.len() >= 2);
         let total_rows: usize = specs.iter().map(|s| s.rows).sum();
         assert_eq!(total_rows, inst.num_rows().unwrap());
@@ -700,8 +785,9 @@ mod tests {
     #[test]
     fn split_is_deterministic() {
         let inst = small_1d();
-        let a = split_1d(&inst, &test_config()).unwrap();
-        let b = split_1d(&inst, &test_config()).unwrap();
+        let config = test_config();
+        let a = split_1d(&inst, &config, config.target_shard_chars).unwrap();
+        let b = split_1d(&inst, &config, config.target_shard_chars).unwrap();
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.chars, y.chars);
             assert_eq!((x.start_row, x.rows), (y.start_row, y.rows));
@@ -789,6 +875,58 @@ mod tests {
         assert!(
             matches!(err, EngineError::NoPlan { .. }),
             "expected NoPlan, got {err}"
+        );
+    }
+
+    /// Adaptive shard targets track measured throughput: a slower inner
+    /// portfolio (per the selection model) means smaller shards — more of
+    /// them — so the quality member of each shard's race can finish within
+    /// the window.
+    #[test]
+    fn adaptive_target_tracks_throughput_and_window() {
+        use crate::select::SelectionModel;
+        use crate::StrategyReport;
+        let inner = Portfolio::of_names(["eblow1d", "rowheur1d", "greedy1d"]).unwrap();
+        let model = SelectionModel::new();
+        let window = Duration::from_secs(3);
+        let cold = adaptive_target_chars(&inner, &model, window, 2000);
+        assert!(cold >= ADAPTIVE_TARGET_FLOOR);
+        // A longer window allows bigger shards.
+        let longer = adaptive_target_chars(&inner, &model, window * 4, 2000);
+        assert!(longer > cold, "{longer} vs {cold}");
+        // Teach the model that the slowest member is much slower than its
+        // prior: targets shrink (more shards).
+        let mut slow = SelectionModel::new();
+        let features = eblow_model::InstanceFeatures::of(&small_1d());
+        for _ in 0..50 {
+            slow.observe(
+                &features,
+                &[StrategyReport {
+                    name: "eblow1d@combinatorial",
+                    status: crate::StrategyStatus::Completed,
+                    cancelled: false,
+                    total_time: Some(1000),
+                    elapsed: Duration::from_secs(2),
+                }],
+            );
+        }
+        let learned = adaptive_target_chars(&inner, &slow, window, 2000);
+        assert!(learned < cold, "{learned} vs {cold}");
+
+        // Unlimited budgets keep the fixed target (reproducible splits).
+        let config = ShardConfig::default();
+        assert_eq!(
+            resolve_target_chars(&inner, &config, &Budget::unlimited()),
+            config.target_shard_chars
+        );
+        // Disabled adaptivity keeps the fixed target even under deadlines.
+        let fixed = ShardConfig {
+            adaptive: false,
+            ..ShardConfig::default()
+        };
+        assert_eq!(
+            resolve_target_chars(&inner, &fixed, &Budget::with_deadline(window)),
+            fixed.target_shard_chars
         );
     }
 

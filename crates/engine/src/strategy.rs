@@ -237,6 +237,16 @@ impl Strategy for RowHeuristic1dStrategy {
     }
 }
 
+/// Default candidate cap of the exact 1D ILP strategy (Table 5 scale; the
+/// paper's GUROBI already needs 1510 s at 12 characters). Referenced by
+/// the selection model's priors so the feature-predicted gate and the
+/// `supports()` gate cannot drift apart.
+pub const ILP1D_DEFAULT_MAX_CHARS: usize = 14;
+
+/// Default candidate cap of the exact 2D ILP strategy (see
+/// [`ILP1D_DEFAULT_MAX_CHARS`]).
+pub const ILP2D_DEFAULT_MAX_CHARS: usize = 10;
+
 /// The exact 1D ILP (formulation (3)) via branch-and-bound. Only supports
 /// small instances (Table 5 scale) — the binary count grows quadratically.
 #[derive(Debug, Clone, Copy)]
@@ -248,7 +258,9 @@ pub struct ExactIlp1dStrategy {
 
 impl Default for ExactIlp1dStrategy {
     fn default() -> Self {
-        ExactIlp1dStrategy { max_chars: 14 }
+        ExactIlp1dStrategy {
+            max_chars: ILP1D_DEFAULT_MAX_CHARS,
+        }
     }
 }
 
@@ -361,7 +373,9 @@ pub struct ExactIlp2dStrategy {
 
 impl Default for ExactIlp2dStrategy {
     fn default() -> Self {
-        ExactIlp2dStrategy { max_chars: 10 }
+        ExactIlp2dStrategy {
+            max_chars: ILP2D_DEFAULT_MAX_CHARS,
+        }
     }
 }
 

@@ -1,0 +1,118 @@
+//! Integration tests of feature-driven portfolio selection: shortlist
+//! quality against the full zoo, the full-registry fallback, and stats
+//! persistence across selector lifetimes.
+
+use eblow_engine::{race_with_fallback, Portfolio, PortfolioConfig, SelectionModel, Selector};
+use eblow_gen::{Family, GenConfig};
+use std::time::Duration;
+
+/// On a paper-scale MCC benchmark the cold selector (priors only) must
+/// shortlist at most half the registry, keep the quality 1D pipeline in
+/// the list, and return a valid plan without falling back.
+#[test]
+fn cold_shortlist_on_benchmark_keeps_the_quality_pipeline() {
+    let inst = eblow_gen::benchmark(Family::M1(1));
+    let registry = Portfolio::all_builtin();
+    let half = registry.strategies().len() / 2;
+    let selector = Selector::with_model(SelectionModel::new(), half);
+    let config = PortfolioConfig {
+        deadline: Some(Duration::from_secs(2)),
+        ..Default::default()
+    };
+    let race = selector.race(&registry, &inst, &config);
+    assert!(race.shortlist.len() <= half, "{:?}", race.shortlist);
+    assert!(
+        race.shortlist.contains(&"eblow1d@combinatorial"),
+        "the quality pipeline must be predicted worth spawning: {:?}",
+        race.shortlist
+    );
+    assert!(
+        race.shortlist.iter().all(|n| !n.contains("2d")),
+        "1D instance must not spawn 2D strategies: {:?}",
+        race.shortlist
+    );
+    assert!(!race.fell_back);
+    race.outcome
+        .best
+        .as_ref()
+        .expect("shortlist plans the instance")
+        .validate(&inst)
+        .unwrap();
+}
+
+/// Deadline-free, the selected subset must match the full zoo on writing
+/// time whenever the predicted-best strategy really is the best — the
+/// engine-level version of the `eblow-eval select` CI gate.
+#[test]
+fn selected_subset_matches_full_zoo_quality_without_deadline() {
+    let registry = Portfolio::all_builtin();
+    let selector = Selector::with_model(SelectionModel::new(), 4);
+    for seed in [55u64, 56, 57] {
+        let inst = eblow_gen::generate(&GenConfig::tiny_1d(seed));
+        let sel = selector.race(&registry, &inst, &PortfolioConfig::default());
+        let full = registry.run(&inst, &PortfolioConfig::default());
+        let sel_t = sel.outcome.best.as_ref().expect("selected plan").total_time;
+        let full_t = full.best.as_ref().expect("full-zoo plan").total_time;
+        let quality = full_t as f64 / sel_t.max(1) as f64;
+        assert!(
+            quality >= 0.99,
+            "seed {seed}: selected T {sel_t} vs full-zoo T {full_t} (quality {quality:.4})"
+        );
+    }
+}
+
+/// The fallback fix, end to end through a `Selector`-shaped call: a
+/// shortlist that `supports()` empties must be answered by the full
+/// registry, not by `no_strategy_supports`.
+#[test]
+fn supports_emptied_shortlist_is_answered_by_the_registry() {
+    let tiny = eblow_gen::generate(&GenConfig::tiny_2d(58));
+    // Both composites are huge-gated; on a 60-candidate instance the
+    // shortlist loses every member to `supports()`.
+    let shortlist = Portfolio::of_names(["shard1d", "shard2d"]).unwrap();
+    let registry = Portfolio::all_builtin();
+    let config = PortfolioConfig::default();
+    let (outcome, fell_back) = race_with_fallback(&shortlist, &registry, &tiny, &config);
+    assert!(fell_back);
+    assert!(!outcome.no_strategy_supports());
+    let best = outcome.best.as_ref().expect("registry covers the instance");
+    best.validate(&tiny).unwrap();
+    assert!(
+        best.strategy.contains("2d"),
+        "a 2D strategy must win on a 2D instance, got {}",
+        best.strategy
+    );
+}
+
+/// Learned statistics survive a selector lifetime: a second selector
+/// pointed at the same stats file starts from the first one's model.
+#[test]
+fn stats_persist_across_selector_lifetimes() {
+    let dir = std::env::temp_dir().join("eblow-select-integration");
+    let path = dir.join(format!("stats-{}.json", std::process::id()));
+    std::fs::remove_file(&path).ok();
+
+    let inst = eblow_gen::generate(&GenConfig::tiny_1d(59));
+    {
+        let selector = Selector::with_model(SelectionModel::new(), 3).with_stats_path(&path);
+        let race = selector.race(
+            &Portfolio::all_builtin(),
+            &inst,
+            &PortfolioConfig::default(),
+        );
+        assert!(race.outcome.best.is_some());
+    }
+    let text = std::fs::read_to_string(&path).expect("stats file written");
+    assert!(text.contains("\"strategies\""), "JSON shape: {text}");
+
+    let warm = Selector::with_model(SelectionModel::new(), 3).with_stats_path(&path);
+    {
+        let model = warm.model();
+        let guard = model.lock().unwrap();
+        assert!(
+            !guard.is_empty(),
+            "second selector must warm-start from the persisted stats"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}

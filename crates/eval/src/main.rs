@@ -28,9 +28,25 @@
 //!                                   failing the process if the stitched
 //!                                   plan is worse than the monolithic
 //!                                   race's or misses the deadline margin
-//! eblow-eval all [--ilp-limit-s N]  everything above except shard (the
-//!                                   huge cases are not part of the
-//!                                   paper's suite)
+//! eblow-eval select [--deadline-s N] [--case NAME] [--k N] [--stats PATH]
+//!                   [--assert-no-worse-than-full-zoo]
+//!                                   feature-driven top-k strategy selection
+//!                                   vs the full registry zoo under equal
+//!                                   deadlines (k is clamped to half the
+//!                                   registry); optionally failing the
+//!                                   process if the selected subset falls
+//!                                   below 0.99x full-zoo writing-time
+//!                                   quality
+//! eblow-eval bench [--deadline-s N] [--out PATH]
+//!                                   races the engine on the 1T/1M/1H/2H
+//!                                   case families (3 s deadline each by
+//!                                   default) and writes a machine-readable
+//!                                   BENCH_<rev>.json trajectory artifact
+//!                                   (per-case writing time, wall-clock,
+//!                                   winning strategy)
+//! eblow-eval all [--ilp-limit-s N]  everything above except shard/select/
+//!                                   bench (the huge cases are not part of
+//!                                   the paper's suite)
 //! ```
 //!
 //! Tables 3 and 4 run every method through the `eblow-engine` strategy
@@ -42,7 +58,11 @@ use eblow_core::oned::{
     CombinatorialOracle, Eblow1d, Eblow1dConfig, LpOracle, MkpItem, RowBase, SimplexOracle,
 };
 use eblow_core::twod::Eblow2d;
-use eblow_engine::{strategy_by_name, Budget, Portfolio, PortfolioConfig};
+use eblow_engine::select::json_quote;
+use eblow_engine::{
+    strategy_by_name, write_text_atomic, Budget, Portfolio, PortfolioConfig, SelectionModel,
+    Selector,
+};
 use eblow_gen::{table3_suite, table4_suite, Family, GenConfig};
 use eblow_lp::MilpStatus;
 use eblow_model::Instance;
@@ -358,6 +378,213 @@ fn shard_cmd(
     }
 }
 
+/// Compares feature-driven top-k strategy selection against the full
+/// registry zoo under equal deadlines.
+///
+/// The selector scores every registered strategy for each case's
+/// `InstanceFeatures` (throughput/quality model, priors unless `--stats`
+/// points at a learned file) and races only the top-k shortlist — the
+/// production path of a selecting `Planner`. `--assert-no-worse-than-full-zoo`
+/// turns the comparison into a CI gate: the selected subset must reach at
+/// least 0.99x the full zoo's writing-time quality on every case run.
+fn select_cmd(
+    deadline: Duration,
+    case: Option<&str>,
+    k_arg: Option<usize>,
+    stats: Option<&str>,
+    assert_no_worse: bool,
+) {
+    let registry = Portfolio::all_builtin();
+    let half = (registry.strategies().len() / 2).max(1);
+    let k = k_arg.unwrap_or(half).clamp(1, half);
+    println!();
+    println!(
+        "== Feature-driven selection vs full zoo (top-{k} of {} strategies, deadline {:.1}s) ==",
+        registry.strategies().len(),
+        deadline.as_secs_f64()
+    );
+    let mut selector = Selector::with_model(SelectionModel::new(), k);
+    if let Some(path) = stats {
+        selector = selector.with_stats_path(path);
+    }
+    let config = PortfolioConfig {
+        deadline: Some(deadline),
+        ..Default::default()
+    };
+    let mut ran = 0usize;
+    let mut failed = false;
+    let suites = table3_suite()
+        .into_iter()
+        .chain(table4_suite())
+        .filter(|(name, _)| case.is_none_or(|c| c == name));
+    for (name, inst) in suites {
+        ran += 1;
+        let selected = selector.race(&registry, &inst, &config);
+        let full = registry.run(&inst, &config);
+        let Some(sel_best) = &selected.outcome.best else {
+            eprintln!("FAIL: {name}: selected shortlist produced no valid plan");
+            failed = true;
+            continue;
+        };
+        sel_best
+            .validate(&inst)
+            .unwrap_or_else(|e| panic!("{name}: selected plan invalid: {e}"));
+        let (full_t, quality) = match &full.best {
+            Some(b) => (
+                b.total_time.to_string(),
+                Some(b.total_time as f64 / sel_best.total_time.max(1) as f64),
+            ),
+            None => ("NA".into(), None),
+        };
+        println!(
+            "{:6} | {:>10} {:>8.3}s | {:>10} {:>8.3}s | quality {:>6} | {}{:?}",
+            name,
+            sel_best.total_time,
+            selected.outcome.elapsed.as_secs_f64(),
+            full_t,
+            full.elapsed.as_secs_f64(),
+            quality.map_or("-".into(), |q| format!("{q:.3}")),
+            if selected.fell_back { "fallback " } else { "" },
+            selected.shortlist,
+        );
+        if assert_no_worse {
+            match quality {
+                Some(q) if q < 0.99 => {
+                    eprintln!(
+                        "FAIL: {name}: selected T_total {} below 0.99x full-zoo quality ({})",
+                        sel_best.total_time, full_t
+                    );
+                    failed = true;
+                }
+                Some(_) => {}
+                // The gate is defined against the full zoo; a missing
+                // baseline must not make it vacuous.
+                None => {
+                    eprintln!("FAIL: {name}: full zoo produced no plan to compare against");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if let Some(c) = case {
+        if ran == 0 {
+            eprintln!("FAIL: unknown case {c:?}");
+            std::process::exit(2);
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// The source revision for benchmark artifacts: `GITHUB_SHA` in CI, the
+/// local git HEAD otherwise, `"local"` as the last resort.
+fn revision() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        let sha = sha.trim().to_string();
+        if sha.len() >= 8 {
+            return sha[..8].to_string();
+        }
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=8", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "local".to_string())
+}
+
+/// Races the full engine portfolio on the 1T/1M/1H/2H case families under
+/// a per-case deadline and writes a machine-readable `BENCH_<rev>.json`:
+/// per-case system writing time, characters placed, wall-clock, and the
+/// winning strategy. This is the repo's performance trajectory artifact —
+/// CI uploads one per revision, so speed regressions (or wins) are
+/// comparable across commits. Exits non-zero if any case produces no valid
+/// plan.
+fn bench_cmd(deadline: Duration, out: Option<&str>) {
+    let rev = revision();
+    let out_path = out
+        .map(String::from)
+        .unwrap_or_else(|| format!("BENCH_{rev}.json"));
+    println!();
+    println!(
+        "== Benchmark trajectory (rev {rev}, deadline {:.1}s per case) ==",
+        deadline.as_secs_f64()
+    );
+    let families: Vec<Family> = (1..=5)
+        .map(Family::T1)
+        .chain((1..=8).map(Family::M1))
+        .chain((1..=2).map(Family::H1))
+        .chain((1..=2).map(Family::H2))
+        .collect();
+    let portfolio = Portfolio::all_builtin();
+    let config = PortfolioConfig {
+        deadline: Some(deadline),
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for family in families {
+        let name = family.name();
+        let inst = eblow_gen::benchmark(family);
+        let outcome = portfolio.run(&inst, &config);
+        let Some(best) = &outcome.best else {
+            eprintln!("FAIL: {name}: no valid plan under deadline");
+            failed = true;
+            continue;
+        };
+        best.validate(&inst)
+            .unwrap_or_else(|e| panic!("{name}: winning plan invalid: {e}"));
+        println!(
+            "{:6} | T_total {:>10}  chars {:>5}  wall {:>6.3}s  winner {}",
+            name,
+            best.total_time,
+            best.selection.count(),
+            outcome.elapsed.as_secs_f64(),
+            best.strategy
+        );
+        rows.push(format!(
+            "    {{\"case\": {}, \"kind\": {}, \"candidates\": {}, \"regions\": {}, \
+             \"t_total\": {}, \"chars_on_stencil\": {}, \"wall_s\": {:.6}, \
+             \"winner\": {}, \"complete\": {}, \"strategies_raced\": {}}}",
+            json_quote(&name),
+            json_quote(if inst.num_rows().is_ok() { "1d" } else { "2d" }),
+            inst.num_chars(),
+            inst.num_regions(),
+            best.total_time,
+            best.selection.count(),
+            outcome.elapsed.as_secs_f64(),
+            json_quote(best.strategy),
+            outcome.complete(),
+            outcome.supported,
+        ));
+    }
+    let generated = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let doc = format!(
+        "{{\n  \"schema\": \"eblow-bench/1\",\n  \"rev\": {},\n  \"generated_unix\": {},\n  \
+         \"deadline_s\": {:.3},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        json_quote(&rev),
+        generated,
+        deadline.as_secs_f64(),
+        rows.join(",\n"),
+    );
+    write_text_atomic(std::path::Path::new(&out_path), &doc)
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path} ({} cases)", rows.len());
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 /// Cross-checks the combinatorial and simplex LP backends on the reference
 /// instances: first-iteration LP objectives must agree within `tol`
 /// relative, and both backends' rounded plans must validate. Exits
@@ -593,13 +820,13 @@ fn main() {
         .and_then(|v| v.parse::<u64>().ok())
         .map(Duration::from_secs)
         .unwrap_or(Duration::from_secs(60));
-    let deadline = args
+    let deadline_arg = args
         .iter()
         .position(|a| a == "--deadline-s")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<u64>().ok())
-        .map(Duration::from_secs)
-        .unwrap_or(Duration::from_secs(30));
+        .map(Duration::from_secs);
+    let deadline = deadline_arg.unwrap_or(Duration::from_secs(30));
     let case = args
         .iter()
         .position(|a| a == "--case")
@@ -620,6 +847,22 @@ fn main() {
     let assert_no_worse = args
         .iter()
         .any(|a| a == "--assert-no-worse-than-monolithic");
+    let assert_no_worse_zoo = args.iter().any(|a| a == "--assert-no-worse-than-full-zoo");
+    let k_arg = args
+        .iter()
+        .position(|a| a == "--k")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+    let stats = args
+        .iter()
+        .position(|a| a == "--stats")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
 
     match cmd {
         "table3" => table3(),
@@ -631,6 +874,11 @@ fn main() {
         "portfolio" => portfolio(deadline, case, assert_within),
         "agree" => agree(tol_rel),
         "shard" => shard_cmd(deadline, case, assert_no_worse, assert_within),
+        "select" => select_cmd(deadline, case, k_arg, stats, assert_no_worse_zoo),
+        // Trajectory artifacts default to a tight per-case deadline — the
+        // point is comparable wall-clocks across revisions, not exhaustive
+        // solves.
+        "bench" => bench_cmd(deadline_arg.unwrap_or(Duration::from_secs(3)), out),
         "all" => {
             table3();
             table4();
@@ -644,9 +892,10 @@ fn main() {
         other => {
             eprintln!("unknown command {other:?}");
             eprintln!(
-                "usage: eblow-eval [table3|table4|table5|fig5|fig6|fig11|fig12|portfolio|agree|shard|all] \
+                "usage: eblow-eval [table3|table4|table5|fig5|fig6|fig11|fig12|portfolio|agree|shard|select|bench|all] \
                  [--ilp-limit-s N] [--deadline-s N] [--case NAME] [--assert-within-ms N] [--tol-rel X] \
-                 [--assert-no-worse-than-monolithic]"
+                 [--assert-no-worse-than-monolithic] [--assert-no-worse-than-full-zoo] \
+                 [--k N] [--stats PATH] [--out PATH]"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,182 @@
+//! Order-invariant feature vectors of planning instances.
+//!
+//! An [`InstanceFeatures`] summarizes everything the engine's strategy
+//! selector needs to predict which planners are worth spawning on an
+//! instance: size (candidate / region / row counts), kind (row-structured
+//! 1D vs free-form 2D), blank-width statistics (how much overlapping can
+//! save), and profit dispersion (how much candidate choice matters).
+//!
+//! Where [`InstanceDigest`](crate::InstanceDigest) answers "is this the
+//! *same* instance?" (exact, order-sensitive), `InstanceFeatures` answers
+//! "what *kind* of instance is this?" — every field is an aggregate over
+//! the candidate set (count, sum, mean, max, variance), so the features are
+//! invariant under any permutation of the candidate indices. Two instances
+//! that differ only in candidate order get identical features, which makes
+//! the features safe to key learned per-strategy statistics on.
+
+use crate::Instance;
+
+/// An order-invariant summary of an [`Instance`] for strategy selection.
+///
+/// All statistics are aggregates over the candidate set, so permuting the
+/// candidate indices (together with their repeat-matrix rows) leaves every
+/// field unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceFeatures {
+    /// Number of character candidates.
+    pub num_chars: usize,
+    /// Number of wafer regions (CPs of the MCC system).
+    pub num_regions: usize,
+    /// Stencil row count for row-structured instances, 0 for free-form.
+    pub num_rows: usize,
+    /// Whether the stencil is row-structured (1DOSP) or free-form (2DOSP).
+    pub is_1d: bool,
+    /// `num_chars × num_rows` — the LP cell count that size-gated 1D
+    /// backends (e.g. the dense simplex) key their cutoffs on. 0 for 2D.
+    pub cells: u64,
+    /// Mean candidate width (µm).
+    pub mean_width: f64,
+    /// Mean horizontal blank per side, averaged over left and right (µm).
+    pub mean_h_blank: f64,
+    /// Largest horizontal blank on any side of any candidate (µm).
+    pub max_h_blank: u64,
+    /// Aggregate shareable fraction: `Σ (left + right blank) / Σ width`
+    /// over the candidate set — how much of the stencil the overlapping
+    /// trick can reclaim. (A ratio of integer sums rather than a mean of
+    /// per-candidate ratios, so the value is *bit-exactly* reorder
+    /// invariant.)
+    pub blank_fraction: f64,
+    /// Mean candidate profit (total writing-time reduction `Σ_c t_ic·n_i`).
+    pub profit_mean: f64,
+    /// Coefficient of variation of candidate profit (std dev / mean; 0 when
+    /// the mean is 0). High dispersion means selection matters — a few
+    /// candidates carry most of the reduction.
+    pub profit_cv: f64,
+}
+
+impl InstanceFeatures {
+    /// Extracts the feature vector of `instance`. One `O(n·P)` pass.
+    ///
+    /// Every accumulator is an integer (exact, commutative), converted to
+    /// `f64` only at the end — the reorder invariance is bit-exact, not
+    /// merely up to floating-point summation order.
+    pub fn of(instance: &Instance) -> Self {
+        let n = instance.num_chars();
+        let num_rows = instance.num_rows().unwrap_or(0);
+        let denom = n.max(1) as f64;
+
+        let mut width_sum = 0u64;
+        let mut blank_sum = 0u64;
+        let mut max_h_blank = 0u64;
+        let mut profit_sum = 0u128;
+        let mut profit_sq_sum = 0u128;
+        for i in 0..n {
+            let ch = instance.char(i);
+            let b = ch.blanks();
+            width_sum += ch.width();
+            blank_sum += b.left + b.right;
+            max_h_blank = max_h_blank.max(b.left).max(b.right);
+            let p = instance.total_reduction(i) as u128;
+            profit_sum += p;
+            profit_sq_sum += p * p;
+        }
+        let profit_mean = profit_sum as f64 / denom;
+        let profit_var = (profit_sq_sum as f64 / denom - profit_mean * profit_mean).max(0.0);
+        let profit_cv = if profit_mean > 0.0 {
+            profit_var.sqrt() / profit_mean
+        } else {
+            0.0
+        };
+        InstanceFeatures {
+            num_chars: n,
+            num_regions: instance.num_regions(),
+            num_rows,
+            is_1d: instance.stencil().row_height().is_some(),
+            cells: (n as u64) * (num_rows as u64),
+            mean_width: width_sum as f64 / denom,
+            mean_h_blank: blank_sum as f64 / (2.0 * denom),
+            max_h_blank,
+            blank_fraction: blank_sum as f64 / width_sum.max(1) as f64,
+            profit_mean,
+            profit_cv,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Character, Instance, Stencil};
+
+    fn instance_1d() -> Instance {
+        let chars = vec![
+            Character::new(40, 40, [5, 7, 5, 5], 20).unwrap(),
+            Character::new(50, 40, [8, 6, 5, 5], 35).unwrap(),
+            Character::new(30, 40, [2, 3, 5, 5], 10).unwrap(),
+        ];
+        Instance::new(
+            Stencil::with_rows(200, 80, 40).unwrap(),
+            chars,
+            vec![vec![10, 1], vec![4, 9], vec![0, 2]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn features_capture_shape_and_kind() {
+        let f = InstanceFeatures::of(&instance_1d());
+        assert_eq!(f.num_chars, 3);
+        assert_eq!(f.num_regions, 2);
+        assert_eq!(f.num_rows, 2);
+        assert!(f.is_1d);
+        assert_eq!(f.cells, 6);
+        assert!((f.mean_width - 40.0).abs() < 1e-12);
+        assert_eq!(f.max_h_blank, 8);
+        assert!(f.blank_fraction > 0.0 && f.blank_fraction < 1.0);
+        assert!(f.profit_mean > 0.0);
+        assert!(f.profit_cv > 0.0);
+    }
+
+    #[test]
+    fn features_are_invariant_under_candidate_reordering() {
+        let inst = instance_1d();
+        let perm = [2usize, 0, 1];
+        let chars: Vec<Character> = perm.iter().map(|&i| *inst.char(i)).collect();
+        let repeats: Vec<Vec<u64>> = perm.iter().map(|&i| inst.repeat_row(i).to_vec()).collect();
+        let shuffled = Instance::new(inst.stencil(), chars, repeats).unwrap();
+        assert_eq!(InstanceFeatures::of(&inst), InstanceFeatures::of(&shuffled));
+        // The digest, by contrast, is order-sensitive — the two answers are
+        // complementary, not redundant.
+        assert_ne!(inst.digest(), shuffled.digest());
+    }
+
+    #[test]
+    fn free_form_instances_have_no_rows_and_no_cells() {
+        let inst = Instance::new(
+            Stencil::new(100, 100).unwrap(),
+            vec![Character::new(40, 40, [5, 5, 5, 5], 20).unwrap()],
+            vec![vec![3]],
+        )
+        .unwrap();
+        let f = InstanceFeatures::of(&inst);
+        assert!(!f.is_1d);
+        assert_eq!(f.num_rows, 0);
+        assert_eq!(f.cells, 0);
+    }
+
+    #[test]
+    fn zero_profit_instances_have_zero_dispersion() {
+        let inst = Instance::new(
+            Stencil::with_rows(200, 40, 40).unwrap(),
+            vec![
+                Character::new(40, 40, [5, 5, 5, 5], 20).unwrap(),
+                Character::new(40, 40, [5, 5, 5, 5], 30).unwrap(),
+            ],
+            vec![vec![0], vec![0]],
+        )
+        .unwrap();
+        let f = InstanceFeatures::of(&inst);
+        assert_eq!(f.profit_mean, 0.0);
+        assert_eq!(f.profit_cv, 0.0);
+    }
+}

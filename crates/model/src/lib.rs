@@ -47,6 +47,7 @@
 mod character;
 mod digest;
 mod error;
+mod features;
 mod instance;
 pub mod io;
 pub mod overlap;
@@ -59,6 +60,7 @@ pub mod simulate;
 pub use character::{Blanks, CharId, Character};
 pub use digest::{Fnv64, InstanceDigest};
 pub use error::ModelError;
+pub use features::InstanceFeatures;
 pub use instance::{Instance, Stencil};
 pub use placement1d::{Placement1d, Row};
 pub use placement2d::{PlacedChar, Placement2d};

@@ -1,7 +1,7 @@
 //! Property-based tests of the domain model's geometric and accounting
 //! invariants.
 
-use eblow_model::{overlap, simulate, Character, Instance, Selection, Stencil};
+use eblow_model::{overlap, simulate, Character, Instance, InstanceFeatures, Selection, Stencil};
 use proptest::prelude::*;
 
 /// Strategy: a legal character (blanks always fit the outline).
@@ -114,6 +114,30 @@ proptest! {
         let text = eblow_model::io::to_string(&inst);
         let back = eblow_model::io::from_str(&text).unwrap();
         prop_assert_eq!(inst, back);
+    }
+
+    /// `InstanceFeatures` is a candidate-*set* summary: permuting the
+    /// candidate indices (with their repeat-matrix rows) must produce the
+    /// identical feature vector — the selection-model counterpart of the
+    /// digest-stability tests (the digest, in contrast, is order-sensitive
+    /// by design).
+    #[test]
+    fn features_invariant_under_candidate_reordering(inst in instance(), perm_seed in any::<u64>()) {
+        let n = inst.num_chars();
+        // Deterministic Fisher–Yates from the seed (xorshift64*).
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = perm_seed | 1;
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = (state % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        let chars: Vec<Character> = perm.iter().map(|&i| *inst.char(i)).collect();
+        let repeats: Vec<Vec<u64>> = perm.iter().map(|&i| inst.repeat_row(i).to_vec()).collect();
+        let shuffled = Instance::new(inst.stencil(), chars, repeats).unwrap();
+        prop_assert_eq!(InstanceFeatures::of(&inst), InstanceFeatures::of(&shuffled));
     }
 }
 
