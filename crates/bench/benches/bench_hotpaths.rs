@@ -1,0 +1,126 @@
+//! Hot-path microbenchmarks for the columnar instance core and the
+//! incremental planning loops: `RegionTimes` select/profit sweeps, the
+//! staged `RowState::admits` check, and cold vs warm-started LP oracle
+//! solves — all on a 1H-sized MCC workload (12 000 candidates, 10 CPs),
+//! the scale where these paths dominate every registry strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eblow_core::oned::{
+    successive_rounding, CombinatorialOracle, LpHint, LpOracle, MkpItem, RoundingConfig, RowBase,
+};
+use eblow_core::profit::RegionTimes;
+use eblow_core::StopFlag;
+use eblow_gen::{benchmark, Family};
+use eblow_model::CharId;
+use std::hint::black_box;
+
+fn bench_hotpaths(c: &mut Criterion) {
+    let inst = benchmark(Family::H1(1));
+    let n = inst.num_chars();
+    let mut group = c.benchmark_group("hotpaths_1h");
+    group.sample_size(3);
+
+    // Select/deselect churn: every 3rd candidate on, then off again —
+    // 8 000 sparse updates of the incrementally-tracked max.
+    group.bench_function("region_times_select_deselect_sweep", |b| {
+        b.iter(|| {
+            let mut rt = RegionTimes::new(&inst);
+            for i in (0..n).step_by(3) {
+                rt.select(&inst, i);
+            }
+            for i in (0..n).step_by(3) {
+                rt.deselect(&inst, i);
+            }
+            black_box(rt.total())
+        })
+    });
+
+    // Full dynamic-profit sweep (Eqn. 6) under a partial selection, via
+    // the buffer-reusing all-candidate entry point (the 2D pipeline's
+    // pricing pass; the 1D rounding loop prices its shrinking unsolved
+    // set per item instead).
+    group.bench_function("region_times_profits_sweep", |b| {
+        let mut rt = RegionTimes::new(&inst);
+        for i in (0..n).step_by(5) {
+            rt.select(&inst, i);
+        }
+        let mut buf = Vec::new();
+        b.iter(|| {
+            rt.profits_into(&inst, &mut buf);
+            black_box(buf.len())
+        })
+    });
+
+    // Admission probing: fill one row with a greedy stream of candidates,
+    // probing admits for each — the pattern of the rounding commit loop.
+    group.bench_function("row_state_admits_stream", |b| {
+        let w = inst.stencil().width();
+        b.iter(|| {
+            let mut row = eblow_core::oned::RowState::default();
+            let mut admitted = 0usize;
+            for i in 0..2_000.min(n) {
+                let id = CharId::from(i);
+                if row.admits(&inst, id, w) {
+                    row.commit(&inst, id);
+                    admitted += 1;
+                }
+            }
+            black_box(admitted)
+        })
+    });
+
+    // Cold vs warm-started LP: the same shrinking item sequence solved
+    // with a fresh hint every time (cold) and with one carried hint
+    // (warm). Solutions are identical by contract; only the cost differs.
+    let items_full = MkpItem::initial_set(&inst);
+    let bases = vec![RowBase::default(); inst.num_rows().expect("1H is 1D")];
+    let w = inst.stencil().width();
+    group.bench_function("oracle_solve_lp_cold", |b| {
+        b.iter(|| {
+            let mut items = items_full.clone();
+            for _ in 0..6 {
+                let sol = CombinatorialOracle.solve_lp(&items, &bases, w).unwrap();
+                black_box(sol.objective);
+                let keep = items.len() * 9 / 10;
+                items.truncate(keep);
+            }
+        })
+    });
+    group.bench_function("oracle_solve_lp_warm", |b| {
+        b.iter(|| {
+            let mut items = items_full.clone();
+            let mut hint = LpHint::default();
+            for _ in 0..6 {
+                let sol = CombinatorialOracle
+                    .solve_lp_warm(&items, &bases, w, &mut hint)
+                    .unwrap();
+                black_box(sol.objective);
+                let keep = items.len() * 9 / 10;
+                items.truncate(keep);
+            }
+        })
+    });
+
+    // End to end: one full successive-rounding run (Algorithm 1) over the
+    // eligible set — the composite consumer of all three paths above.
+    group.bench_function("successive_rounding_full", |b| {
+        let eligible: Vec<usize> = (0..n).collect();
+        let rows = inst.num_rows().expect("1H is 1D");
+        b.iter(|| {
+            let out = successive_rounding(
+                &inst,
+                &eligible,
+                rows,
+                &RoundingConfig::default(),
+                &CombinatorialOracle,
+                StopFlag::NEVER,
+            );
+            black_box(out.unsolved.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotpaths);
+criterion_main!(benches);

@@ -46,7 +46,7 @@ pub fn greedy_1d_with_stop(instance: &Instance, stop: StopFlag<'_>) -> Result<Pl
             c.height() <= row_height && c.width() <= w && profits[i] > 0.0
         })
         .collect();
-    order.sort_by(|&a, &b| profits[b].partial_cmp(&profits[a]).unwrap().then(a.cmp(&b)));
+    order.sort_by(|&a, &b| profits[b].total_cmp(&profits[a]).then(a.cmp(&b)));
 
     let mut rows: Vec<Row> = vec![Row::new(); num_rows];
     let mut widths: Vec<u64> = vec![0; num_rows];

@@ -40,7 +40,7 @@ pub fn greedy_2d_with_stop(instance: &Instance, stop: StopFlag<'_>) -> Result<Pl
     order.sort_by(|&a, &b| {
         let da = profits[a] / instance.char(a).area() as f64;
         let db = profits[b] / instance.char(b).area() as f64;
-        db.partial_cmp(&da).unwrap().then(a.cmp(&b))
+        db.total_cmp(&da).then(a.cmp(&b))
     });
 
     // Hard-rectangle shelves: no sharing anywhere.

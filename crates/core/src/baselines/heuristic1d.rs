@@ -76,7 +76,7 @@ pub fn heuristic_1d_with_stop(
             c.height() <= row_height && c.width() <= w && profits[i] > 0.0
         })
         .collect();
-    cands.sort_by(|&a, &b| profits[b].partial_cmp(&profits[a]).unwrap().then(a.cmp(&b)));
+    cands.sort_by(|&a, &b| profits[b].total_cmp(&profits[a]).then(a.cmp(&b)));
     let capacity = (w as u128 * num_rows as u128) as u64;
     let mut selected: Vec<usize> = Vec::new();
     let mut used = 0u64;
@@ -137,9 +137,7 @@ pub fn heuristic_1d_with_stop(
                 let (pos, _) = rows[r].order()[tail_start..]
                     .iter()
                     .enumerate()
-                    .min_by(|(_, a), (_, b)| {
-                        profits[a.index()].partial_cmp(&profits[b.index()]).unwrap()
-                    })
+                    .min_by(|(_, a), (_, b)| profits[a.index()].total_cmp(&profits[b.index()]))
                     .expect("non-empty tail");
                 let id = rows[r].remove(tail_start + pos);
                 // Try to park it in any later row with room at the end.
@@ -176,7 +174,7 @@ pub fn heuristic_1d_with_stop(
         .copied()
         .filter(|i| !placed.contains(i))
         .collect();
-    rest.sort_by(|&a, &b| profits[b].partial_cmp(&profits[a]).unwrap());
+    rest.sort_by(|&a, &b| profits[b].total_cmp(&profits[a]));
     for i in rest {
         if stop.is_set() {
             break;

@@ -12,7 +12,7 @@
 //! selection proceeds.
 
 use crate::cancel::StopFlag;
-use crate::oned::finish_plan;
+use crate::oned::{finish_plan, refine_width, WidthScratch};
 use crate::profit::static_profits;
 use crate::Plan1d;
 use eblow_model::{CharId, Instance, ModelError, Placement1d, Row};
@@ -60,13 +60,15 @@ pub fn row_heuristic_1d_with_stop(
     // complex character costs more than missing several simple ones, so
     // the row heuristic ranks by absolute profit and lets the exact
     // capacity test control packing.
-    order.sort_by(|&a, &b| profits[b].partial_cmp(&profits[a]).unwrap().then(a.cmp(&b)));
+    order.sort_by(|&a, &b| profits[b].total_cmp(&profits[a]).then(a.cmp(&b)));
 
     // Fill rows under the exact Lemma 1 capacity; best-fit row choice.
-    let mut sets: Vec<Vec<usize>> = vec![Vec::new(); num_rows];
+    let mut sets: Vec<Vec<CharId>> = vec![Vec::new(); num_rows];
     let mut eff: Vec<u64> = vec![0; num_rows];
     let mut blank: Vec<u64> = vec![0; num_rows];
     let mut leftovers: Vec<usize> = Vec::new();
+    let mut ranked: Vec<(u64, usize)> = Vec::with_capacity(num_rows);
+    let mut scratch = WidthScratch::default();
     for &i in &order {
         if stop.is_set() {
             // Deadline: whatever is not yet placed stays off the stencil.
@@ -75,32 +77,33 @@ pub fn row_heuristic_1d_with_stop(
         let c = instance.char(i);
         let e = c.effective_width();
         let s = c.symmetric_blank();
+        let id = CharId::from(i);
         // Rank rows by wasted capacity growth, then verify the best ones
         // with the exact ordering DP (the Lemma 1 estimate is optimistic
-        // for asymmetric blanks).
-        let mut ranked: Vec<(u64, usize)> = (0..num_rows)
-            .filter_map(|r| {
-                let new_width = eff[r] + e + blank[r].max(s);
-                (new_width <= w + 8).then(|| {
-                    let growth = blank[r].max(s) - blank[r];
-                    (growth * 1000 + (w.saturating_sub(new_width)), r)
-                })
+        // for asymmetric blanks). A beam-1 insertion chain (the width of
+        // one concrete order) screens each row first: if that order
+        // already fits, the DP would too — same decisions, far fewer DPs.
+        ranked.clear();
+        ranked.extend((0..num_rows).filter_map(|r| {
+            let new_width = eff[r] + e + blank[r].max(s);
+            (new_width <= w + 8).then(|| {
+                let growth = blank[r].max(s) - blank[r];
+                (growth * 1000 + (w.saturating_sub(new_width)), r)
             })
-            .collect();
+        }));
         ranked.sort_unstable();
         let mut placed_row = None;
         for &(_, r) in ranked.iter().take(12) {
-            let mut trial: Vec<CharId> = sets[r].iter().map(|&x| CharId::from(x)).collect();
-            trial.push(CharId::from(i));
-            let (_, width) = crate::oned::refine_row(instance, &trial, 6);
-            if width <= w {
+            if refine_width(instance, &sets[r], Some(id), 1, &mut scratch) <= w
+                || refine_width(instance, &sets[r], Some(id), 6, &mut scratch) <= w
+            {
                 placed_row = Some(r);
                 break;
             }
         }
         match placed_row {
             Some(r) => {
-                sets[r].push(i);
+                sets[r].push(id);
                 eff[r] += e;
                 blank[r] = blank[r].max(s);
             }
@@ -113,9 +116,8 @@ pub fn row_heuristic_1d_with_stop(
     // and deterministic, as a row-structure method demands.
     let mut rows: Vec<Row> = sets
         .iter()
-        .map(|set| {
-            let ids: Vec<CharId> = set.iter().map(|&i| CharId::from(i)).collect();
-            let (order, _) = crate::oned::refine_row(instance, &ids, 8);
+        .map(|ids| {
+            let (order, _) = crate::oned::refine_row(instance, ids, 8);
             Row::from_order(order)
         })
         .collect();
@@ -128,9 +130,7 @@ pub fn row_heuristic_1d_with_stop(
                 .order()
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    profits[a.index()].partial_cmp(&profits[b.index()]).unwrap()
-                })
+                .min_by(|(_, a), (_, b)| profits[a.index()].total_cmp(&profits[b.index()]))
                 .expect("non-empty row");
             dropped.push(row.remove(pos).index());
         }
@@ -138,7 +138,7 @@ pub fn row_heuristic_1d_with_stop(
     // Greedy top-up at the width-minimal position (middle positions
     // included), most valuable first.
     leftovers.extend(dropped);
-    leftovers.sort_by(|&a, &b| profits[b].partial_cmp(&profits[a]).unwrap().then(a.cmp(&b)));
+    leftovers.sort_by(|&a, &b| profits[b].total_cmp(&profits[a]).then(a.cmp(&b)));
     for i in leftovers {
         if stop.is_set() {
             break;

@@ -111,7 +111,7 @@ pub fn fast_ilp_convergence<O: LpOracle + ?Sized>(
                 (0..rows.len()).find(|&r| rows[r].admits(instance, id, w))
             };
             if let Some(r) = target {
-                rows[r].commit(id, it.eff_width, it.blank);
+                rows[r].commit(instance, id);
                 region_times.select(instance, it.char_index);
                 placed[k] = true;
                 stats.committed_by_threshold += 1;
@@ -131,7 +131,7 @@ pub fn fast_ilp_convergence<O: LpOracle + ?Sized>(
             }
         }
     }
-    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    pairs.sort_by(|a, b| b.2.total_cmp(&a.2));
     pairs.truncate(config.max_vars);
 
     if !pairs.is_empty() && !stop.is_set() {
@@ -222,7 +222,7 @@ pub fn fast_ilp_convergence<O: LpOracle + ?Sized>(
                 let it = items[k];
                 let id = CharId::from(it.char_index);
                 if rows[j].admits(instance, id, w) {
-                    rows[j].commit(id, it.eff_width, it.blank);
+                    rows[j].commit(instance, id);
                     region_times.select(instance, it.char_index);
                     placed[k] = true;
                     stats.committed_by_ilp += 1;
@@ -300,10 +300,8 @@ mod tests {
         let mut rows = vec![RowState::default()];
         // Pre-fill the single row close to capacity with real characters
         // (the admission test re-runs the ordering DP over the members).
-        let c0 = inst.char(0);
-        let c1 = inst.char(1);
-        rows[0].commit(CharId(0), c0.effective_width(), c0.symmetric_blank());
-        rows[0].commit(CharId(1), c1.effective_width(), c1.symmetric_blank());
+        rows[0].commit(&inst, CharId(0));
+        rows[0].commit(&inst, CharId(1));
         let mut rt = RegionTimes::new(&inst);
         rt.select(&inst, 0);
         rt.select(&inst, 1);

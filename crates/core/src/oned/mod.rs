@@ -19,10 +19,10 @@ mod refine;
 mod rounding;
 
 pub use convergence::{fast_ilp_convergence, ConvergenceConfig, ConvergenceStats};
-pub use mkp_lp::{solve_mkp_lp, MkpItem, MkpLpSolution, RowBase};
+pub use mkp_lp::{solve_mkp_lp, solve_mkp_lp_warm, LpHint, MkpItem, MkpLpSolution, RowBase};
 pub use oracle::{CombinatorialOracle, LpOracle, OracleError, ScaledOracle, SimplexOracle};
 pub use post::{post_insert, post_swap, PostConfig};
-pub use refine::{brute_force_min_width, refine_row};
+pub use refine::{brute_force_min_width, refine_row, refine_width, WidthScratch};
 pub use rounding::{successive_rounding, RoundingConfig, RoundingOutcome, RoundingTrace, RowState};
 
 use crate::cancel::StopFlag;
@@ -217,8 +217,7 @@ impl Eblow1d {
                     .min_by(|(_, a), (_, b)| {
                         region_times
                             .profit(instance, a.index())
-                            .partial_cmp(&region_times.profit(instance, b.index()))
-                            .unwrap()
+                            .total_cmp(&region_times.profit(instance, b.index()))
                     })
                     .expect("non-empty order");
                 let dropped = order.remove(drop_pos);

@@ -26,6 +26,14 @@
 //!   onto the original items and repairs row feasibility. This keeps a
 //!   size-limited inner backend usable far beyond its cutoff.
 //!
+//! Successive rounding solves a *shrinking sequence* of LPs, so the trait
+//! also exposes [`LpOracle::solve_lp_warm`]: an
+//! [`LpHint`](super::LpHint)-carrying variant whose contract is "same
+//! solution, cheaper solve". The combinatorial backend seeds its density
+//! sort with the previous iteration's order (adaptive sorting makes the
+//! nearly-sorted case ~linear) and records its `B_j` fixed point; the
+//! simplex and scaled backends fall back to the cold solve.
+//!
 //! ## Backend agreement
 //!
 //! On *blank-free* items the combinatorial and simplex backends solve the
@@ -39,7 +47,7 @@
 //! above the combinatorial one; on the reference instances the gap is a few
 //! percent (checked by `eblow-eval agree`).
 
-use super::mkp_lp::{solve_mkp_lp, MkpItem, MkpLpSolution, RowBase};
+use super::mkp_lp::{solve_mkp_lp, solve_mkp_lp_warm, LpHint, MkpItem, MkpLpSolution, RowBase};
 use eblow_lp::{LpProblem, LpStatus, Simplex, SimplexConfig};
 use std::fmt;
 
@@ -105,6 +113,27 @@ pub trait LpOracle: fmt::Debug + Send + Sync {
         base: &[RowBase],
         stencil_w: u64,
     ) -> Result<MkpLpSolution, OracleError>;
+
+    /// Warm-started [`solve_lp`](LpOracle::solve_lp): `hint` carries state
+    /// from the previous solve of a shrinking sequence (successive
+    /// rounding's per-iteration LPs) — the density order and the `B_j`
+    /// fixed point for the combinatorial backend.
+    ///
+    /// **Contract:** the solution must be *identical* to `solve_lp` on the
+    /// same inputs; a hint may only change how fast the solve runs, never
+    /// what it returns (so warm-started rounding stays bit-reproducible
+    /// against cold-started rounding). Backends without warm-start support
+    /// use this default, which ignores the hint.
+    fn solve_lp_warm(
+        &self,
+        items: &[MkpItem],
+        base: &[RowBase],
+        stencil_w: u64,
+        hint: &mut LpHint,
+    ) -> Result<MkpLpSolution, OracleError> {
+        let _ = hint;
+        self.solve_lp(items, base, stencil_w)
+    }
 }
 
 /// Builds the all-zero solution over `items` (nothing assigned).
@@ -135,6 +164,16 @@ impl LpOracle for CombinatorialOracle {
         stencil_w: u64,
     ) -> Result<MkpLpSolution, OracleError> {
         Ok(solve_mkp_lp(items, base, stencil_w))
+    }
+
+    fn solve_lp_warm(
+        &self,
+        items: &[MkpItem],
+        base: &[RowBase],
+        stencil_w: u64,
+        hint: &mut LpHint,
+    ) -> Result<MkpLpSolution, OracleError> {
+        Ok(solve_mkp_lp_warm(items, base, stencil_w, hint))
     }
 }
 

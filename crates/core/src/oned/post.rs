@@ -86,18 +86,17 @@ pub fn post_swap(
         outsiders.sort_by(|&a, &b| {
             region_times
                 .profit(instance, b)
-                .partial_cmp(&region_times.profit(instance, a))
-                .unwrap()
+                .total_cmp(&region_times.profit(instance, a))
                 .then(a.cmp(&b))
         });
         outsiders.truncate(config.swap_candidates);
 
-        let mut any = false;
-        for u in outsiders {
-            if stop.is_set() {
-                return swaps;
-            }
-            // Scan placed characters, least valuable first.
+        // Scan placed characters, least valuable first. Positions and
+        // profits only change when a swap commits, so the sorted scan list
+        // is built once per pass and rebuilt after each commit instead of
+        // once per outsider (the commit rate is tiny compared to the
+        // candidate count).
+        let build_placed = |placement: &Placement1d, region_times: &RegionTimes| {
             let mut placed: Vec<(usize, usize)> = Vec::new(); // (row, pos)
             for (r, row) in placement.rows().iter().enumerate() {
                 for pos in 0..row.len() {
@@ -107,9 +106,19 @@ pub fn post_swap(
             placed.sort_by(|&(ra, pa), &(rb, pb)| {
                 let va = region_times.profit(instance, placement.rows()[ra].order()[pa].index());
                 let vb = region_times.profit(instance, placement.rows()[rb].order()[pb].index());
-                va.partial_cmp(&vb).unwrap()
+                va.total_cmp(&vb)
             });
-            for (r, pos) in placed {
+            placed
+        };
+        let mut placed = build_placed(placement, region_times);
+
+        let mut any = false;
+        for u in outsiders {
+            if stop.is_set() {
+                return swaps;
+            }
+            let mut committed = false;
+            for &(r, pos) in &placed {
                 let v = placement.rows()[r].order()[pos];
                 let delta = region_times.swap_delta(instance, Some(v.index()), Some(u));
                 if delta >= 0 {
@@ -127,7 +136,11 @@ pub fn post_swap(
                 selection.insert(u);
                 swaps += 1;
                 any = true;
+                committed = true;
                 break;
+            }
+            if committed {
+                placed = build_placed(placement, region_times);
             }
         }
         if !any {
@@ -170,8 +183,7 @@ pub fn post_insert(
         candidates.sort_by(|&a, &b| {
             region_times
                 .profit(instance, b)
-                .partial_cmp(&region_times.profit(instance, a))
-                .unwrap()
+                .total_cmp(&region_times.profit(instance, a))
                 .then(a.cmp(&b))
         });
         candidates.truncate(config.insert_candidates);

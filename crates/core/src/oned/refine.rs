@@ -99,6 +99,105 @@ pub fn refine_row(instance: &Instance, set: &[CharId], threshold: usize) -> (Vec
     (best.order, best.width)
 }
 
+/// Reusable buffers for [`refine_width`] — callers probing admission in a
+/// loop (the rounding commit loop, Algorithm 2's threshold pass) hold one
+/// scratch per row so the DP allocates nothing per probe.
+#[derive(Debug, Clone, Default)]
+pub struct WidthScratch {
+    /// `(symmetric blank, id)` sort keys of the member set.
+    keys: Vec<(u64, CharId)>,
+    frontier: Vec<WidthState>,
+    next: Vec<WidthState>,
+}
+
+/// One width-only DP state: `(width, left_blank, right_blank)`.
+type WidthState = (u64, u64, u64);
+
+/// The width half of [`refine_row`], without materializing orders: runs the
+/// *same* end-insertion DP over `members ∪ extra` with the same
+/// decreasing-blank insertion sequence, the same Pareto pruning, and the
+/// same beam limit, so the returned width is identical to
+/// `refine_row(instance, &members_plus_extra, threshold).1` — but each
+/// state is three integers instead of an owned order vector, and the
+/// candidate set needs no clone-and-push.
+///
+/// `beam = 1` degenerates into a greedy end-insertion chain: the width of
+/// one concrete order, a cheap upper bound on the full DP's width (used by
+/// the admission fast path).
+pub fn refine_width(
+    instance: &Instance,
+    members: &[CharId],
+    extra: Option<CharId>,
+    threshold: usize,
+    scratch: &mut WidthScratch,
+) -> u64 {
+    scratch.keys.clear();
+    scratch.keys.extend(
+        members
+            .iter()
+            .chain(extra.as_ref())
+            .map(|&id| (instance.char(id.index()).symmetric_blank(), id)),
+    );
+    if scratch.keys.is_empty() {
+        return 0;
+    }
+    // Decreasing symmetric blank, ties by id — the exact insertion sequence
+    // refine_row derives (its tie-break compares the CharIds themselves,
+    // which are unique, so the sequence depends only on the member set).
+    scratch
+        .keys
+        .sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    let first = instance.char(scratch.keys[0].1.index());
+    scratch.frontier.clear();
+    scratch
+        .frontier
+        .push((first.width(), first.blanks().left, first.blanks().right));
+
+    for ki in 1..scratch.keys.len() {
+        let ck = instance.char(scratch.keys[ki].1.index());
+        let (wk, blk, brk) = (ck.width(), ck.blanks().left, ck.blanks().right);
+        scratch.next.clear();
+        for &(width, left_blank, right_blank) in &scratch.frontier {
+            scratch
+                .next
+                .push((width + wk - brk.min(left_blank), blk, right_blank));
+            scratch
+                .next
+                .push((width + wk - blk.min(right_blank), left_blank, brk));
+        }
+        prune_widths(&mut scratch.next, threshold);
+        std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+    }
+    scratch
+        .frontier
+        .iter()
+        .map(|&(w, _, _)| w)
+        .min()
+        .expect("non-empty frontier")
+}
+
+/// [`prune`] on width-only states: same sort, same dominance rule, same
+/// beam limit.
+fn prune_widths(states: &mut Vec<WidthState>, threshold: usize) {
+    states.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)).then(b.2.cmp(&a.2)));
+    let mut kept = 0usize;
+    for i in 0..states.len() {
+        let st = states[i];
+        let dominated = states[..kept]
+            .iter()
+            .any(|k| k.0 <= st.0 && k.1 >= st.1 && k.2 >= st.2);
+        if !dominated {
+            states[kept] = st;
+            kept += 1;
+            if kept >= threshold.max(1) {
+                break;
+            }
+        }
+    }
+    states.truncate(kept);
+}
+
 /// Keeps the Pareto frontier of `(width ↓, left_blank ↑, right_blank ↑)`,
 /// beam-limited to `threshold` states (smallest widths kept).
 fn prune(mut states: Vec<OrderState>, threshold: usize) -> Vec<OrderState> {
@@ -239,6 +338,47 @@ mod tests {
         let (_, w_small) = refine_row(&inst, &ids(5), 1);
         let (_, w_large) = refine_row(&inst, &ids(5), 1000);
         assert!(w_large <= w_small, "larger beam can only improve");
+    }
+
+    #[test]
+    fn width_dp_agrees_with_refine_row_exactly() {
+        let specs = vec![
+            (40, 2, 9),
+            (35, 8, 3),
+            (42, 5, 5),
+            (30, 1, 7),
+            (33, 6, 2),
+            (44, 9, 9),
+            (28, 4, 1),
+        ];
+        let inst = make_instance(&specs);
+        let mut scratch = WidthScratch::default();
+        for threshold in [1usize, 2, 8, 20] {
+            for upto in 1..=specs.len() {
+                let set = ids(upto);
+                let (_, full) = refine_row(&inst, &set, threshold);
+                let w = refine_width(&inst, &set, None, threshold, &mut scratch);
+                assert_eq!(w, full, "threshold {threshold}, set size {upto}");
+                // Probing the last member as `extra` must match including it.
+                let (head, tail) = set.split_at(upto - 1);
+                let probed = refine_width(&inst, head, Some(tail[0]), threshold, &mut scratch);
+                assert_eq!(probed, full, "extra-probe, threshold {threshold}");
+            }
+        }
+        assert_eq!(refine_width(&inst, &[], None, 8, &mut scratch), 0);
+    }
+
+    #[test]
+    fn beam_one_chain_upper_bounds_the_dp() {
+        let specs = vec![(40, 2, 9), (35, 8, 3), (42, 5, 5), (30, 1, 7), (33, 6, 2)];
+        let inst = make_instance(&specs);
+        let mut scratch = WidthScratch::default();
+        let chain = refine_width(&inst, &ids(5), None, 1, &mut scratch);
+        let (_, dp) = refine_row(&inst, &ids(5), 8);
+        assert!(
+            chain >= dp,
+            "beam-1 chain {chain} must not beat the DP {dp}"
+        );
     }
 
     #[test]

@@ -13,9 +13,17 @@
 //! number of commitments per iteration (`batch_fraction`), which restores
 //! the paper's gradual schedule: profits are re-derived from the updated
 //! region times between batches, exactly as intended by Algorithm 1.
+//!
+//! The loop is engineered as a zero-rebuild hot path: the item, row-base,
+//! candidate, and commit-mask buffers are allocated once and reused across
+//! iterations; the LP is solved through [`LpOracle::solve_lp_warm`] with an
+//! [`LpHint`] carrying the previous iteration's density order and `B_j`
+//! fixed point; and the surviving LP columns are filtered *in place*
+//! instead of cloned.
 
-use super::mkp_lp::{MkpItem, MkpLpSolution, RowBase};
+use super::mkp_lp::{LpHint, MkpItem, MkpLpSolution, RowBase};
 use super::oracle::LpOracle;
+use super::refine::{refine_width, WidthScratch};
 use crate::cancel::StopFlag;
 use crate::profit::RegionTimes;
 use eblow_model::{CharId, Instance};
@@ -44,6 +52,12 @@ pub struct RowState {
     pub eff_used: u64,
     /// `max s_i` over members.
     pub max_blank: u64,
+    /// Members whose horizontal blanks are asymmetric (left ≠ right).
+    /// While 0, the S-Blank estimate is *exact* (Lemma 1), so admission
+    /// needs no DP at all.
+    asym_members: usize,
+    /// Reusable width-DP buffers for [`RowState::admits`].
+    scratch: WidthScratch,
 }
 
 impl RowState {
@@ -62,11 +76,15 @@ impl RowState {
         self.eff_used + eff + self.max_blank.max(blank) <= stencil_w
     }
 
-    /// Commits a character.
-    pub fn commit(&mut self, id: CharId, eff: u64, blank: u64) {
+    /// Commits character `id` of `instance`.
+    pub fn commit(&mut self, instance: &Instance, id: CharId) {
+        let c = instance.char(id.index());
         self.members.push(id);
-        self.eff_used += eff;
-        self.max_blank = self.max_blank.max(blank);
+        self.eff_used += c.effective_width();
+        self.max_blank = self.max_blank.max(c.symmetric_blank());
+        if c.blanks().left != c.blanks().right {
+            self.asym_members += 1;
+        }
     }
 
     /// As [`RowBase`] for the LP oracle.
@@ -81,18 +99,35 @@ impl RowState {
     /// for asymmetric blanks, so near capacity we verify with the real
     /// refinement DP before committing — otherwise the later refinement
     /// stage would have to evict members, leaking value.
-    pub fn admits(&self, instance: &Instance, id: CharId, stencil_w: u64) -> bool {
+    ///
+    /// Decision-identical to running the full DP on a cloned member list,
+    /// but staged so the DP almost never runs:
+    ///
+    /// 1. clearly-overfull estimates are rejected outright (same quick
+    ///    reject as before);
+    /// 2. an all-symmetric row (plus a symmetric candidate) is decided by
+    ///    the estimate alone — Lemma 1 makes every end-insertion order pack
+    ///    to exactly `Σ(w−s) + max s`, so estimate = DP width;
+    /// 3. otherwise a beam-1 greedy insertion chain gives a cheap upper
+    ///    bound on the DP width: if one concrete order fits, the DP fits;
+    /// 4. only in the remaining near-capacity band does the exact
+    ///    (width-only, allocation-free) DP run.
+    pub fn admits(&mut self, instance: &Instance, id: CharId, stencil_w: u64) -> bool {
         let c = instance.char(id.index());
         let (eff, blank) = (c.effective_width(), c.symmetric_blank());
         // Quick reject: the estimate rarely *over*states the DP width by
         // much, so a clearly overfull estimate is a safe early out.
-        if self.eff_used + eff + self.max_blank.max(blank) > stencil_w + 8 {
+        let estimate = self.eff_used + eff + self.max_blank.max(blank);
+        if estimate > stencil_w + 8 {
             return false;
         }
-        let mut members = self.members.clone();
-        members.push(id);
-        let (_, width) = super::refine::refine_row(instance, &members, 8);
-        width <= stencil_w
+        if self.asym_members == 0 && c.blanks().left == c.blanks().right {
+            return estimate <= stencil_w;
+        }
+        if refine_width(instance, &self.members, Some(id), 1, &mut self.scratch) <= stencil_w {
+            return true;
+        }
+        refine_width(instance, &self.members, Some(id), 8, &mut self.scratch) <= stencil_w
     }
 }
 
@@ -167,6 +202,13 @@ pub fn successive_rounding<O: LpOracle + ?Sized>(
     let mut last_lp: Option<MkpLpSolution> = None;
     let mut last_items: Vec<MkpItem> = Vec::new();
 
+    // Iteration-reused buffers: no per-iteration rebuilds on the hot path.
+    let mut hint = LpHint::default();
+    let mut items: Vec<MkpItem> = Vec::with_capacity(unsolved.len());
+    let mut bases: Vec<RowBase> = Vec::with_capacity(num_rows);
+    let mut candidates: Vec<usize> = Vec::new();
+    let mut committed: Vec<bool> = Vec::new();
+
     for _iter in 0..config.max_iters {
         if unsolved.is_empty() || stop.is_set() {
             break;
@@ -174,12 +216,15 @@ pub fn successive_rounding<O: LpOracle + ?Sized>(
         trace.unsolved_per_iter.push(unsolved.len());
 
         // Dynamic profits from the current partial selection (Eqn. 6).
-        let items: Vec<MkpItem> = unsolved
-            .iter()
-            .map(|&i| MkpItem::of_char(instance, &region_times, i))
-            .collect();
-        let bases: Vec<RowBase> = rows.iter().map(RowState::base).collect();
-        let lp = match oracle.solve_lp(&items, &bases, w) {
+        items.clear();
+        items.extend(
+            unsolved
+                .iter()
+                .map(|&i| MkpItem::of_char(instance, &region_times, i)),
+        );
+        bases.clear();
+        bases.extend(rows.iter().map(RowState::base));
+        let lp = match oracle.solve_lp_warm(&items, &bases, w, &mut hint) {
             Ok(lp) => lp,
             Err(_) => {
                 // The previous iteration's `last_lp`/`last_items` stay
@@ -193,36 +238,32 @@ pub fn successive_rounding<O: LpOracle + ?Sized>(
         // Candidates: a_kj ≥ thinv · apq, highest first.
         let apq = lp.max_frac.iter().copied().fold(0.0f64, f64::max);
         if apq <= 1e-9 {
-            last_items = items;
+            last_items.clone_from(&items);
             last_lp = Some(lp);
             trace.committed_per_iter.push(0);
             break;
         }
         let threshold = apq * config.thinv;
-        let mut candidates: Vec<usize> = (0..items.len())
-            .filter(|&k| lp.max_frac[k] >= threshold)
-            .collect();
+        candidates.clear();
+        candidates.extend((0..items.len()).filter(|&k| lp.max_frac[k] >= threshold));
         candidates.sort_by(|&a, &b| {
-            lp.max_frac[b]
-                .partial_cmp(&lp.max_frac[a])
-                .unwrap()
-                .then_with(|| {
-                    items[b]
-                        .profit
-                        .partial_cmp(&items[a].profit)
-                        .unwrap()
-                        .then(items[a].char_index.cmp(&items[b].char_index))
-                })
+            lp.max_frac[b].total_cmp(&lp.max_frac[a]).then_with(|| {
+                items[b]
+                    .profit
+                    .total_cmp(&items[a].profit)
+                    .then(items[a].char_index.cmp(&items[b].char_index))
+            })
         });
         // Batch cap restoring the paper's gradual schedule.
         let cap = ((unsolved.len() as f64 * config.batch_fraction).ceil() as usize).max(16);
         candidates.truncate(cap);
 
-        let mut committed = vec![false; items.len()];
+        committed.clear();
+        committed.resize(items.len(), false);
         let mut committed_count = 0usize;
         for &k in &candidates {
-            // The exact admission test below re-runs the ordering DP, so a
-            // large candidate batch is the longest stretch between
+            // The exact admission test can fall back to the ordering DP, so
+            // a large candidate batch is the longest stretch between
             // iteration-boundary polls — poll per commit too.
             if stop.is_set() {
                 break;
@@ -237,7 +278,7 @@ pub fn successive_rounding<O: LpOracle + ?Sized>(
                 (0..num_rows).find(|&r| rows[r].admits(instance, id, w))
             };
             if let Some(r) = target {
-                rows[r].commit(id, item.eff_width, item.blank);
+                rows[r].commit(instance, id);
                 region_times.select(instance, item.char_index);
                 committed[k] = true;
                 committed_count += 1;
@@ -246,20 +287,26 @@ pub fn successive_rounding<O: LpOracle + ?Sized>(
         trace.committed_per_iter.push(committed_count);
 
         let before = unsolved.len();
-        let keep: Vec<usize> = (0..items.len())
-            .filter(|&k| !committed[k])
-            .map(|k| items[k].char_index)
-            .collect();
-        unsolved = keep;
-        last_items = items
-            .iter()
-            .zip(&committed)
-            .filter(|(_, &c)| !c)
-            .map(|(it, _)| *it)
-            .collect();
+        // `unsolved` and `items` are index-aligned; drop committed entries
+        // from both (and from the LP columns) in place.
+        let mut k = 0;
+        unsolved.retain(|_| {
+            let keep = !committed[k];
+            k += 1;
+            keep
+        });
+        last_items.clear();
+        last_items.extend(
+            items
+                .iter()
+                .zip(&committed)
+                .filter(|(_, &c)| !c)
+                .map(|(it, _)| *it),
+        );
         // Keep the LP values of the *uncommitted* items for Algorithm 2.
-        let survivors: Vec<usize> = (0..committed.len()).filter(|&k| !committed[k]).collect();
-        last_lp = Some(filter_lp(&lp, &survivors));
+        let mut lp = lp;
+        filter_lp_in_place(&mut lp, &committed);
+        last_lp = Some(lp);
 
         if committed_count == 0 {
             break;
@@ -288,20 +335,34 @@ pub fn successive_rounding<O: LpOracle + ?Sized>(
     }
 }
 
-fn filter_lp(lp: &MkpLpSolution, survivors: &[usize]) -> MkpLpSolution {
-    MkpLpSolution {
-        fracs: survivors.iter().map(|&k| lp.fracs[k].clone()).collect(),
-        max_frac: survivors.iter().map(|&k| lp.max_frac[k]).collect(),
-        argmax_row: survivors.iter().map(|&k| lp.argmax_row[k]).collect(),
-        objective: lp.objective,
-        blanks: lp.blanks.clone(),
-    }
+/// Drops the LP columns of committed items in place — no clone of the
+/// fraction lists and, crucially, none of the per-iteration `blanks` clone
+/// the out-of-place filter used to pay.
+fn filter_lp_in_place(lp: &mut MkpLpSolution, committed: &[bool]) {
+    let mut k = 0;
+    lp.fracs.retain_mut(|_| {
+        let keep = !committed[k];
+        k += 1;
+        keep
+    });
+    let mut k = 0;
+    lp.max_frac.retain(|_| {
+        let keep = !committed[k];
+        k += 1;
+        keep
+    });
+    let mut k = 0;
+    lp.argmax_row.retain(|_| {
+        let keep = !committed[k];
+        k += 1;
+        keep
+    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::oned::oracle::CombinatorialOracle;
+    use crate::oned::oracle::{CombinatorialOracle, OracleError};
     use eblow_model::{Character, Stencil};
 
     fn small_instance() -> Instance {
@@ -415,8 +476,8 @@ mod tests {
                 _items: &[MkpItem],
                 _base: &[RowBase],
                 _stencil_w: u64,
-            ) -> Result<MkpLpSolution, crate::oned::oracle::OracleError> {
-                Err(crate::oned::oracle::OracleError::Failed("test".into()))
+            ) -> Result<MkpLpSolution, OracleError> {
+                Err(OracleError::Failed("test".into()))
             }
         }
         let inst = small_instance();
@@ -433,6 +494,55 @@ mod tests {
         assert_eq!(out.unsolved, eligible, "nothing committed, nothing lost");
         assert!(out.last_lp.is_none());
         assert_eq!(out.rows.iter().map(|r| r.members.len()).sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn nan_lp_values_do_not_panic_the_candidate_sort() {
+        // Regression (same bug class as the twod/cluster.rs fix): a backend
+        // returning NaN `max_frac` values used to panic the candidate sort
+        // via `partial_cmp().unwrap()`. The loop must survive and simply
+        // not commit the NaN-valued items meaningfully.
+        #[derive(Debug)]
+        struct NanOracle;
+        impl crate::oned::oracle::LpOracle for NanOracle {
+            fn name(&self) -> &'static str {
+                "nan"
+            }
+            fn solve_lp(
+                &self,
+                items: &[MkpItem],
+                base: &[RowBase],
+                _stencil_w: u64,
+            ) -> Result<MkpLpSolution, OracleError> {
+                // Every item "assigned" to row 0 with a_i = 1, but half the
+                // items get NaN values and NaN profits — a hostile but
+                // type-correct solution shape.
+                Ok(MkpLpSolution {
+                    fracs: items.iter().map(|_| vec![(0usize, 1.0f64)]).collect(),
+                    max_frac: items
+                        .iter()
+                        .enumerate()
+                        .map(|(k, _)| if k % 2 == 0 { f64::NAN } else { 1.0 })
+                        .collect(),
+                    argmax_row: vec![0; items.len()],
+                    objective: f64::NAN,
+                    blanks: base.iter().map(|b| b.max_blank).collect(),
+                })
+            }
+        }
+        let inst = small_instance();
+        let eligible: Vec<usize> = (0..8).collect();
+        let out = successive_rounding(
+            &inst,
+            &eligible,
+            2,
+            &RoundingConfig::default(),
+            &NanOracle,
+            StopFlag::NEVER,
+        );
+        // No panic, and the outcome stays consistent.
+        let placed: usize = out.rows.iter().map(|r| r.members.len()).sum();
+        assert_eq!(placed + out.unsolved.len(), 8);
     }
 
     #[test]
@@ -464,5 +574,68 @@ mod tests {
         );
         let total: usize = out.trace.last_lp_histogram.iter().sum();
         assert_eq!(total, out.unsolved.len());
+    }
+
+    #[test]
+    fn admits_is_decision_identical_to_the_cloning_dp() {
+        // The staged admission test (estimate fast path, beam-1 chain
+        // bound, exact-DP band) must decide exactly like the original
+        // clone-members-and-run-refine_row implementation, on a mix of
+        // symmetric and asymmetric characters near capacity.
+        let mut chars = Vec::new();
+        for i in 0..14u64 {
+            let (l, r) = if i % 3 == 0 {
+                (3 + i % 5, 3 + i % 5) // symmetric
+            } else {
+                (2 + i % 7, 1 + (i * 3) % 9) // asymmetric
+            };
+            let w = 24 + (i * 5) % 22;
+            chars.push(Character::new(w.max(l + r + 1), 40, [l, r, 0, 0], 5).unwrap());
+        }
+        let n = chars.len();
+        let inst = Instance::new(
+            Stencil::with_rows(120, 40, 40).unwrap(),
+            chars,
+            vec![vec![1]; n],
+        )
+        .unwrap();
+        let w = inst.stencil().width();
+
+        // Reference: the pre-refactor implementation, verbatim.
+        let reference = |row: &RowState, id: CharId| -> bool {
+            let c = inst.char(id.index());
+            let (eff, blank) = (c.effective_width(), c.symmetric_blank());
+            if row.eff_used + eff + row.max_blank.max(blank) > w + 8 {
+                return false;
+            }
+            let mut members = row.members.clone();
+            members.push(id);
+            let (_, width) = crate::oned::refine_row(&inst, &members, 8);
+            width <= w
+        };
+
+        // Grow rows greedily in several interleavings; probe every
+        // candidate against every intermediate row state.
+        for stride in 1..=3usize {
+            let mut row = RowState::default();
+            for step in 0..n {
+                let probe = CharId::from((step * stride) % n);
+                for cand in 0..n {
+                    let id = CharId::from(cand);
+                    if row.members.contains(&id) {
+                        continue;
+                    }
+                    assert_eq!(
+                        row.admits(&inst, id, w),
+                        reference(&row, id),
+                        "stride {stride}, step {step}, candidate {cand}, members {:?}",
+                        row.members
+                    );
+                }
+                if !row.members.contains(&probe) && row.admits(&inst, probe, w) {
+                    row.commit(&inst, probe);
+                }
+            }
+        }
     }
 }

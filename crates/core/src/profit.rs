@@ -1,8 +1,8 @@
 //! Dynamic profits (paper Eqn. (6)) and incremental writing-time tracking.
 //!
 //! All planners share one accounting structure, [`RegionTimes`]: the current
-//! per-region writing times `t_c` under a partial selection, updated in
-//! `O(P)` per select/deselect. The dynamic profit of a candidate is
+//! per-region writing times `t_c` under a partial selection. The dynamic
+//! profit of a candidate is
 //!
 //! ```text
 //! profit_i = Σ_c (t_c / t_max) · (n_i − 1) · t_ic          (Eqn. 6)
@@ -10,6 +10,14 @@
 //!
 //! which weights each region by how close it is to being the bottleneck —
 //! the mechanism by which E-BLOW balances MCC regions.
+//!
+//! The tracker is *sparse and incremental*: select/deselect touch only the
+//! regions where the candidate's `t_ic > 0` (via the instance's CSR view,
+//! [`Instance::sparse_row`]), and the running maximum `t_max` is maintained
+//! alongside (value + count of regions attaining it) instead of re-scanned,
+//! so [`RegionTimes::total`] is O(1) and [`RegionTimes::profit`] is
+//! O(nnz_i). A full O(P) re-scan only happens when a select drains the last
+//! region at the maximum.
 
 use eblow_model::Instance;
 
@@ -17,34 +25,74 @@ use eblow_model::Instance;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegionTimes {
     times: Vec<u64>,
+    /// Current `max_c t_c`.
+    max: u64,
+    /// Number of regions with `t_c == max` (invariant: ≥ 1 for non-empty
+    /// `times`; both fields are derived from `times`, so derived equality
+    /// stays consistent).
+    at_max: usize,
 }
 
 impl RegionTimes {
+    fn from_times(times: Vec<u64>) -> Self {
+        let max = times.iter().copied().max().unwrap_or(0);
+        let at_max = times.iter().filter(|&&t| t == max).count();
+        RegionTimes { times, max, at_max }
+    }
+
     /// Starts from the empty selection (pure-VSB times).
     pub fn new(instance: &Instance) -> Self {
-        RegionTimes {
-            times: instance.vsb_times().to_vec(),
-        }
+        RegionTimes::from_times(instance.vsb_times().to_vec())
     }
 
     /// Starts from an existing selection.
     pub fn from_selection(instance: &Instance, selection: &eblow_model::Selection) -> Self {
-        RegionTimes {
-            times: instance.writing_times(selection),
-        }
+        RegionTimes::from_times(instance.writing_times(selection))
     }
 
-    /// Accounts for character `i` being put on the stencil.
+    /// Accounts for character `i` being put on the stencil. Touches only
+    /// the regions with `t_ic > 0`.
     pub fn select(&mut self, instance: &Instance, i: usize) {
-        for (c, t) in self.times.iter_mut().enumerate() {
-            *t -= instance.reduction(i, c);
+        for e in instance.sparse_row(i) {
+            if e.reduction == 0 {
+                continue;
+            }
+            let c = e.region as usize;
+            let old = self.times[c];
+            self.times[c] = old - e.reduction;
+            if old == self.max {
+                self.at_max -= 1;
+            }
+        }
+        if self.at_max == 0 {
+            // The last bottleneck region just dropped: one O(P) re-scan.
+            let max = self.times.iter().copied().max().unwrap_or(0);
+            self.max = max;
+            self.at_max = self.times.iter().filter(|&&t| t == max).count();
         }
     }
 
-    /// Accounts for character `i` being removed from the stencil.
+    /// Accounts for character `i` being removed from the stencil. Touches
+    /// only the regions with `t_ic > 0`; the maximum can only grow, so no
+    /// re-scan is ever needed.
     pub fn deselect(&mut self, instance: &Instance, i: usize) {
-        for (c, t) in self.times.iter_mut().enumerate() {
-            *t += instance.reduction(i, c);
+        for e in instance.sparse_row(i) {
+            if e.reduction == 0 {
+                continue;
+            }
+            let c = e.region as usize;
+            let old = self.times[c];
+            let new = old + e.reduction;
+            self.times[c] = new;
+            if old == self.max {
+                self.at_max -= 1;
+            }
+            if new > self.max {
+                self.max = new;
+                self.at_max = 1;
+            } else if new == self.max {
+                self.at_max += 1;
+            }
         }
     }
 
@@ -53,51 +101,98 @@ impl RegionTimes {
         &self.times
     }
 
-    /// Current system writing time `max_c t_c`.
+    /// Current system writing time `max_c t_c` — O(1), maintained
+    /// incrementally by select/deselect.
+    #[inline]
     pub fn total(&self) -> u64 {
-        self.times.iter().copied().max().unwrap_or(0)
+        self.max
     }
 
     /// Change in the system writing time if `out` were replaced by `in_`
     /// (negative = improvement). Either may be `None` for pure
     /// insert/remove deltas.
+    ///
+    /// One pass over the regions, merging the two candidates' sparse rows
+    /// against the dense times — no multiplies, no allocation.
     pub fn swap_delta(&self, instance: &Instance, out: Option<usize>, in_: Option<usize>) -> i64 {
-        let cur = self.total() as i64;
+        let empty: &[eblow_model::SparseRepeat] = &[];
+        let out_row = out.map_or(empty, |o| instance.sparse_row(o));
+        let in_row = in_.map_or(empty, |i| instance.sparse_row(i));
+        let mut oi = 0usize;
+        let mut ii = 0usize;
         let mut new_max = 0i64;
         for (c, &t) in self.times.iter().enumerate() {
             let mut t = t as i64;
-            if let Some(o) = out {
-                t += instance.reduction(o, c) as i64;
+            if oi < out_row.len() && out_row[oi].region as usize == c {
+                t += out_row[oi].reduction as i64;
+                oi += 1;
             }
-            if let Some(i) = in_ {
-                t -= instance.reduction(i, c) as i64;
+            if ii < in_row.len() && in_row[ii].region as usize == c {
+                t -= in_row[ii].reduction as i64;
+                ii += 1;
             }
             new_max = new_max.max(t);
         }
-        new_max - cur
+        new_max - self.max as i64
     }
 
     /// Dynamic profit of candidate `i` per Eqn. (6).
     ///
-    /// Returns 0 when every region is already at writing time 0.
+    /// Returns 0 when every region is already at writing time 0. Iterates
+    /// only the candidate's nonzero regions; the per-term arithmetic is the
+    /// dense formula's exactly (`(t_c/t_max) · (n_i − 1) · t_ic`, in that
+    /// association), so values are bit-identical to a dense recompute.
     pub fn profit(&self, instance: &Instance, i: usize) -> f64 {
-        let t_max = self.total();
+        let t_max = self.max;
         if t_max == 0 {
             return 0.0;
         }
-        let saving = instance.char(i).shot_saving() as f64;
+        let saving = instance.shot_saving(i) as f64;
         let mut p = 0.0;
-        for (c, &t) in self.times.iter().enumerate() {
-            p += (t as f64 / t_max as f64) * saving * instance.repeats(i, c) as f64;
+        for e in instance.sparse_row(i) {
+            p += (self.times[e.region as usize] as f64 / t_max as f64) * saving * e.repeats as f64;
         }
         p
     }
 
     /// Dynamic profits for every candidate (Eqn. (6)), in one pass.
     pub fn profits(&self, instance: &Instance) -> Vec<f64> {
-        (0..instance.num_chars())
-            .map(|i| self.profit(instance, i))
-            .collect()
+        let mut out = Vec::new();
+        self.profits_into(instance, &mut out);
+        out
+    }
+
+    /// Fills `out` with the dynamic profits of every candidate, reusing its
+    /// allocation. The per-region weights `t_c / t_max` are computed once,
+    /// so the whole sweep is O(P + Σ_i nnz_i) with `P` divisions total.
+    ///
+    /// This is the all-candidate sweep (the 2D pipeline's pricing pass and
+    /// anything else needing every profit at once). The 1D rounding loop
+    /// deliberately does *not* use it: its unsolved set shrinks every
+    /// iteration, so per-item [`RegionTimes::profit`] over the survivors
+    /// is the cheaper shape there.
+    pub fn profits_into(&self, instance: &Instance, out: &mut Vec<f64>) {
+        out.clear();
+        let t_max = self.max;
+        if t_max == 0 {
+            out.resize(instance.num_chars(), 0.0);
+            return;
+        }
+        // Hoisting the weight is bit-exact: the division result is
+        // identical whether computed per term or once per region.
+        let weights: Vec<f64> = self
+            .times
+            .iter()
+            .map(|&t| t as f64 / t_max as f64)
+            .collect();
+        out.extend((0..instance.num_chars()).map(|i| {
+            let saving = instance.shot_saving(i) as f64;
+            let mut p = 0.0;
+            for e in instance.sparse_row(i) {
+                p += weights[e.region as usize] * saving * e.repeats as f64;
+            }
+            p
+        }));
     }
 }
 
@@ -138,6 +233,7 @@ mod tests {
         assert_ne!(rt.times(), &t0[..]);
         rt.deselect(&inst, 0);
         assert_eq!(rt.times(), &t0[..]);
+        assert_eq!(rt, RegionTimes::new(&inst), "max tracking restored too");
     }
 
     #[test]
@@ -148,6 +244,48 @@ mod tests {
         let sel = Selection::from_indices(2, [1]);
         assert_eq!(rt.times(), &inst.writing_times(&sel)[..]);
         assert_eq!(rt.total(), inst.total_writing_time(&sel));
+    }
+
+    #[test]
+    fn incremental_max_matches_rescan_under_churn() {
+        // Deterministic churn over a wider instance: after every operation
+        // the tracked max (and the whole struct) must equal a fresh
+        // recompute from the selection.
+        let chars: Vec<Character> = (0..12)
+            .map(|i| Character::new(30, 40, [3, 3, 0, 0], 2 + (i % 7) as u64).unwrap())
+            .collect();
+        let repeats: Vec<Vec<u64>> = (0..12)
+            .map(|i| {
+                (0..5)
+                    .map(|c| {
+                        if (i + c) % 3 == 0 {
+                            (i * c % 9) as u64
+                        } else {
+                            0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let inst = Instance::new(Stencil::with_rows(500, 40, 40).unwrap(), chars, repeats).unwrap();
+        let mut rt = RegionTimes::new(&inst);
+        let mut sel = Selection::none(12);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..400 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let i = (state % 12) as usize;
+            if sel.contains(i) {
+                sel.remove(i);
+                rt.deselect(&inst, i);
+            } else {
+                sel.insert(i);
+                rt.select(&inst, i);
+            }
+            assert_eq!(rt, RegionTimes::from_selection(&inst, &sel));
+            assert_eq!(rt.total(), inst.total_writing_time(&sel));
+        }
     }
 
     #[test]
@@ -163,6 +301,20 @@ mod tests {
         let p1 = rt.profit(&inst, 1);
         let expect = (47.0 / 47.0) * 2.0 * 1.0 + (24.0 / 47.0) * 2.0 * 8.0;
         assert!((p1 - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profits_into_matches_per_candidate_profit_bitwise() {
+        let inst = inst();
+        let mut rt = RegionTimes::new(&inst);
+        rt.select(&inst, 0);
+        let mut buf = vec![1.0, 2.0, 3.0]; // stale content must be cleared
+        rt.profits_into(&inst, &mut buf);
+        assert_eq!(buf.len(), 2);
+        for i in 0..2 {
+            assert_eq!(buf[i].to_bits(), rt.profit(&inst, i).to_bits());
+        }
+        assert_eq!(rt.profits(&inst), buf);
     }
 
     #[test]
@@ -192,5 +344,6 @@ mod tests {
         let rt = RegionTimes::new(&inst);
         assert_eq!(rt.total(), 0);
         assert_eq!(rt.profit(&inst, 0), 0.0);
+        assert_eq!(rt.profits(&inst), vec![0.0]);
     }
 }

@@ -175,4 +175,90 @@ proptest! {
             scaled.objective
         );
     }
+
+    /// `solve_lp_warm` is bitwise identical to `solve_lp` along a simulated
+    /// rounding trajectory (items drop out, profits re-price, committed
+    /// rows grow) — the warm-start contract of the `LpOracle` trait.
+    #[test]
+    fn warm_started_lp_equals_cold_lp(seed in 1u64..2000) {
+        let inst = eblow_gen::generate(&GenConfig::tiny_1d(seed));
+        let mut items = MkpItem::initial_set(&inst);
+        let mut base = vec![RowBase::default(); inst.num_rows().unwrap()];
+        let mut hint = eblow_core::oned::LpHint::default();
+        let w = inst.stencil().width();
+        let mut state = seed | 1;
+        for _round in 0..5 {
+            let warm = CombinatorialOracle
+                .solve_lp_warm(&items, &base, w, &mut hint)
+                .unwrap();
+            let cold = solve_mkp_lp(&items, &base, w);
+            prop_assert_eq!(&warm.fracs, &cold.fracs);
+            prop_assert_eq!(&warm.max_frac, &cold.max_frac);
+            prop_assert_eq!(&warm.argmax_row, &cold.argmax_row);
+            prop_assert_eq!(&warm.blanks, &cold.blanks);
+            prop_assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+            // Shrink + re-price, pseudo-randomly but deterministically.
+            let mut k = 0usize;
+            items.retain(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                k += 1;
+                state % 4 != 0 || k.is_multiple_of(7)
+            });
+            for it in items.iter_mut() {
+                it.profit *= 0.75 + ((it.char_index % 8) as f64) * 0.0625;
+            }
+            let j = (state % base.len().max(1) as u64) as usize;
+            base[j].eff_used += 7;
+            base[j].max_blank = base[j].max_blank.max(state % 9);
+        }
+    }
+
+    /// The sparse profit accounting (`RegionTimes::profit`/`profits_into`)
+    /// is bit-identical to a dense recompute of Eqn. (6) from the public
+    /// dense accessors, across a random select trajectory.
+    #[test]
+    fn sparse_profits_match_dense_reference(seed in 1u64..2000) {
+        use eblow_core::profit::RegionTimes;
+        let inst = eblow_gen::generate(&GenConfig::tiny_1d(seed));
+        let n = inst.num_chars();
+        let mut rt = RegionTimes::new(&inst);
+        let mut state = seed | 1;
+        let mut profits = Vec::new();
+        let mut selected = vec![false; n];
+        for _step in 0..12 {
+            // Dense reference: Eqn. (6) exactly as the pre-CSR code wrote it.
+            let times = rt.times().to_vec();
+            let t_max = times.iter().copied().max().unwrap_or(0);
+            prop_assert_eq!(rt.total(), t_max);
+            for i in 0..n {
+                let expect = if t_max == 0 {
+                    0.0
+                } else {
+                    let saving = inst.char(i).shot_saving() as f64;
+                    let mut p = 0.0;
+                    for (c, &t) in times.iter().enumerate() {
+                        p += (t as f64 / t_max as f64) * saving * inst.repeats(i, c) as f64;
+                    }
+                    p
+                };
+                prop_assert_eq!(rt.profit(&inst, i).to_bits(), expect.to_bits());
+            }
+            rt.profits_into(&inst, &mut profits);
+            for i in 0..n {
+                prop_assert_eq!(profits[i].to_bits(), rt.profit(&inst, i).to_bits());
+            }
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let i = (state % n as u64) as usize;
+            if selected[i] {
+                rt.deselect(&inst, i);
+            } else {
+                rt.select(&inst, i);
+            }
+            selected[i] = !selected[i];
+        }
+    }
 }

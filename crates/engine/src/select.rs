@@ -431,6 +431,17 @@ pub fn json_quote(s: &str) -> String {
     json::quote(s)
 }
 
+/// Parses JSON text with the same hand-rolled parser the selection-model
+/// stats use — the engine's other artifact readers (`eblow-eval
+/// bench-diff` consuming `eblow-bench/1` files) share one grammar
+/// implementation instead of growing a second one.
+pub fn json_parse(text: &str) -> Result<JsonValue, String> {
+    json::parse(text)
+}
+
+/// A parsed JSON value (see [`json_parse`]).
+pub use json::Value as JsonValue;
+
 /// The process-wide shared model: the default [`Selector`] observes races
 /// into it, and the shard composites read its measured throughput to pick
 /// adaptive shard counts — one model, shared learning.
@@ -615,17 +626,39 @@ mod json {
     }
 
     impl Value {
+        /// The fields of an object value, in insertion order.
         pub fn as_obj(&self) -> Option<&[(String, Value)]> {
             match self {
                 Value::Obj(fields) => Some(fields),
                 _ => None,
             }
         }
+        /// The numeric payload, if this is a number.
         pub fn as_num(&self) -> Option<f64> {
             match self {
                 Value::Num(n) => Some(*n),
                 _ => None,
             }
+        }
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        /// The elements, if this is an array.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+        /// Object field lookup (first match, insertion order).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_obj()?
+                .iter()
+                .find_map(|(k, v)| (k == key).then_some(v))
         }
     }
 

@@ -169,11 +169,21 @@ fn split_1d(
             load[g] += instance.vsb_time(c);
         }
         let mut shard_chars: Vec<Vec<usize>> = vec![Vec::new(); k];
+        // Region → group map once, then one pass over each candidate's
+        // sparse row: the per-candidate group sums cost O(nnz_i) instead of
+        // a dense O(P) multiply sweep per group.
+        let mut group_of = vec![0usize; regions];
+        for (g, grp) in groups.iter().enumerate() {
+            for &c in grp {
+                group_of[c] = g;
+            }
+        }
+        let mut by_group = vec![0u64; k];
         for i in 0..n {
-            let by_group: Vec<u64> = groups
-                .iter()
-                .map(|g| g.iter().map(|&c| instance.reduction(i, c)).sum())
-                .collect();
+            by_group.iter_mut().for_each(|v| *v = 0);
+            for e in instance.sparse_row(i) {
+                by_group[group_of[e.region as usize]] += e.reduction;
+            }
             let total: u64 = by_group.iter().sum();
             if total == 0 {
                 shard_chars[i % k].push(i);

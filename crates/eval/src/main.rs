@@ -37,13 +37,19 @@
 //!                                   process if the selected subset falls
 //!                                   below 0.99x full-zoo writing-time
 //!                                   quality
-//! eblow-eval bench [--deadline-s N] [--out PATH]
+//! eblow-eval bench [--deadline-s N] [--out PATH] [--case NAME] [--rev LABEL]
 //!                                   races the engine on the 1T/1M/1H/2H
 //!                                   case families (3 s deadline each by
 //!                                   default) and writes a machine-readable
 //!                                   BENCH_<rev>.json trajectory artifact
 //!                                   (per-case writing time, wall-clock,
 //!                                   winning strategy)
+//! eblow-eval bench-diff OLD.json NEW.json [--max-regress-pct N]
+//!                                   compares two eblow-bench/1 artifacts
+//!                                   and fails on any per-case writing-time
+//!                                   or wall-clock regression beyond N
+//!                                   percent (default 25); cases missing
+//!                                   from NEW fail, extra cases inform
 //! eblow-eval all [--ilp-limit-s N]  everything above except shard/select/
 //!                                   bench (the huge cases are not part of
 //!                                   the paper's suite)
@@ -58,7 +64,7 @@ use eblow_core::oned::{
     CombinatorialOracle, Eblow1d, Eblow1dConfig, LpOracle, MkpItem, RowBase, SimplexOracle,
 };
 use eblow_core::twod::Eblow2d;
-use eblow_engine::select::json_quote;
+use eblow_engine::select::{json_parse, json_quote, JsonValue};
 use eblow_engine::{
     strategy_by_name, write_text_atomic, Budget, Portfolio, PortfolioConfig, SelectionModel,
     Selector,
@@ -507,11 +513,14 @@ fn revision() -> String {
 /// CI uploads one per revision, so speed regressions (or wins) are
 /// comparable across commits. Exits non-zero if any case produces no valid
 /// plan.
-fn bench_cmd(deadline: Duration, out: Option<&str>) {
-    let rev = revision();
-    let out_path = out
-        .map(String::from)
-        .unwrap_or_else(|| format!("BENCH_{rev}.json"));
+fn bench_cmd(deadline: Duration, out: Option<&str>, case: Option<&str>, rev_arg: Option<&str>) {
+    let rev = rev_arg.map(String::from).unwrap_or_else(revision);
+    // A single-case debug run must not clobber the full trajectory
+    // artifact of the same revision: give it its own default name.
+    let out_path = out.map(String::from).unwrap_or_else(|| match case {
+        Some(c) => format!("BENCH_{rev}_{c}.json"),
+        None => format!("BENCH_{rev}.json"),
+    });
     println!();
     println!(
         "== Benchmark trajectory (rev {rev}, deadline {:.1}s per case) ==",
@@ -522,7 +531,12 @@ fn bench_cmd(deadline: Duration, out: Option<&str>) {
         .chain((1..=8).map(Family::M1))
         .chain((1..=2).map(Family::H1))
         .chain((1..=2).map(Family::H2))
+        .filter(|f| case.is_none_or(|c| c == f.name()))
         .collect();
+    if families.is_empty() {
+        eprintln!("FAIL: unknown case {case:?}");
+        std::process::exit(2);
+    }
     let portfolio = Portfolio::all_builtin();
     let config = PortfolioConfig {
         deadline: Some(deadline),
@@ -583,6 +597,153 @@ fn bench_cmd(deadline: Duration, out: Option<&str>) {
     if failed {
         std::process::exit(1);
     }
+}
+
+/// One benchmark-case row parsed from an `eblow-bench/1` artifact.
+struct BenchCase {
+    name: String,
+    t_total: f64,
+    wall_s: f64,
+}
+
+/// A parsed `eblow-bench/1` artifact: per-case deadline + case rows.
+struct BenchArtifact {
+    deadline_s: f64,
+    cases: Vec<BenchCase>,
+}
+
+/// Parses an `eblow-bench/1` artifact.
+fn parse_bench_artifact(path: &str) -> Result<BenchArtifact, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let root = json_parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    match root.get("schema").and_then(JsonValue::as_str) {
+        Some("eblow-bench/1") => {}
+        other => {
+            return Err(format!(
+                "{path}: unsupported schema {other:?} (expected \"eblow-bench/1\")"
+            ))
+        }
+    }
+    let deadline_s = root
+        .get("deadline_s")
+        .and_then(JsonValue::as_num)
+        .ok_or_else(|| format!("{path}: missing numeric \"deadline_s\""))?;
+    let cases = root
+        .get("cases")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| format!("{path}: missing \"cases\" array"))?;
+    let cases = cases
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let field = |key: &str| {
+                c.get(key)
+                    .and_then(JsonValue::as_num)
+                    .ok_or_else(|| format!("{path}: case {i} missing numeric {key:?}"))
+            };
+            Ok(BenchCase {
+                name: c
+                    .get("case")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format!("{path}: case {i} missing \"case\""))?
+                    .to_string(),
+                t_total: field("t_total")?,
+                wall_s: field("wall_s")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(BenchArtifact { deadline_s, cases })
+}
+
+/// While *both* sides' wall-clocks sit below this, percentage wall
+/// comparisons are pure scheduler/hardware noise (a 70 ms case landing at
+/// 110 ms on a different runner is not a regression), so [`bench_diff`]
+/// reports but does not gate them. Writing-time `T` is gated regardless —
+/// it is deadline-normalized, not absolute-time-scaled.
+const BENCH_DIFF_WALL_FLOOR_S: f64 = 0.5;
+
+/// Compares two `eblow-bench/1` artifacts case by case (the ROADMAP's bench
+/// differ): for every case present in both, the new artifact's system
+/// writing time `T` and wall-clock must not regress by more than
+/// `max_regress_pct` percent over the old one (wall-clock only above the
+/// [`BENCH_DIFF_WALL_FLOOR_S`] noise floor). Cases missing from the new
+/// artifact fail outright (silent coverage loss is a regression too); new
+/// cases are reported and pass. Exits non-zero on any violation, so CI can
+/// gate fresh artifacts against a committed baseline.
+fn bench_diff(old_path: &str, new_path: &str, max_regress_pct: f64) {
+    let old = parse_bench_artifact(old_path).unwrap_or_else(|e| {
+        eprintln!("FAIL: {e}");
+        std::process::exit(2);
+    });
+    let new = parse_bench_artifact(new_path).unwrap_or_else(|e| {
+        eprintln!("FAIL: {e}");
+        std::process::exit(2);
+    });
+    // T-at-deadline is only comparable at equal deadlines: an artifact
+    // raced with a longer window would mask (or fake) T regressions.
+    if (old.deadline_s - new.deadline_s).abs() > 1e-9 {
+        eprintln!(
+            "FAIL: deadline mismatch: {old_path} ran at {:.3}s per case, {new_path} at {:.3}s",
+            old.deadline_s, new.deadline_s
+        );
+        std::process::exit(2);
+    }
+    let (old, new) = (&old.cases, &new.cases);
+    println!();
+    println!("== Bench diff: {old_path} -> {new_path} (max regression {max_regress_pct:.1}%) ==");
+    println!(
+        "{:6} | {:>12} {:>12} {:>8} | {:>9} {:>9} {:>8}",
+        "case", "T(old)", "T(new)", "ΔT%", "wall(old)", "wall(new)", "Δwall%"
+    );
+    let mut failed = false;
+    for o in old {
+        let Some(n) = new.iter().find(|n| n.name == o.name) else {
+            eprintln!("FAIL: {}: case missing from {new_path}", o.name);
+            failed = true;
+            continue;
+        };
+        let dt = 100.0 * (n.t_total - o.t_total) / o.t_total.max(1.0);
+        let dw = 100.0 * (n.wall_s - o.wall_s) / o.wall_s.max(1e-9);
+        let t_bad = dt > max_regress_pct;
+        // The floor looks at *both* walls: a sub-floor baseline case that
+        // balloons past the floor is exactly the cliff the gate exists
+        // for; only jitter that stays below the floor is informational.
+        let w_bad = dw > max_regress_pct && o.wall_s.max(n.wall_s) >= BENCH_DIFF_WALL_FLOOR_S;
+        println!(
+            "{:6} | {:>12.0} {:>12.0} {:>7.1}% | {:>8.3}s {:>8.3}s {:>7.1}%{}",
+            o.name,
+            o.t_total,
+            n.t_total,
+            dt,
+            o.wall_s,
+            n.wall_s,
+            dw,
+            if t_bad || w_bad { "   <-- FAIL" } else { "" }
+        );
+        if t_bad {
+            eprintln!(
+                "FAIL: {}: T regressed {:.1}% (> {:.1}%)",
+                o.name, dt, max_regress_pct
+            );
+            failed = true;
+        }
+        if w_bad {
+            eprintln!(
+                "FAIL: {}: wall-clock regressed {:.1}% (> {:.1}%)",
+                o.name, dw, max_regress_pct
+            );
+            failed = true;
+        }
+    }
+    for n in new {
+        if !old.iter().any(|o| o.name == n.name) {
+            println!("{:6} | new case (no baseline) — informational", n.name);
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("bench-diff OK: {} cases within threshold", old.len());
 }
 
 /// Cross-checks the combinatorial and simplex LP backends on the reference
@@ -863,6 +1024,17 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str);
+    let max_regress_pct = args
+        .iter()
+        .position(|a| a == "--max-regress-pct")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(25.0);
+    let rev_arg = args
+        .iter()
+        .position(|a| a == "--rev")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
 
     match cmd {
         "table3" => table3(),
@@ -878,7 +1050,23 @@ fn main() {
         // Trajectory artifacts default to a tight per-case deadline — the
         // point is comparable wall-clocks across revisions, not exhaustive
         // solves.
-        "bench" => bench_cmd(deadline_arg.unwrap_or(Duration::from_secs(3)), out),
+        "bench" => bench_cmd(
+            deadline_arg.unwrap_or(Duration::from_secs(3)),
+            out,
+            case,
+            rev_arg,
+        ),
+        "bench-diff" => {
+            let old_path = args.get(1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("usage: eblow-eval bench-diff OLD.json NEW.json [--max-regress-pct N]");
+                std::process::exit(2);
+            });
+            let new_path = args.get(2).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("usage: eblow-eval bench-diff OLD.json NEW.json [--max-regress-pct N]");
+                std::process::exit(2);
+            });
+            bench_diff(old_path, new_path, max_regress_pct);
+        }
         "all" => {
             table3();
             table4();
@@ -892,10 +1080,10 @@ fn main() {
         other => {
             eprintln!("unknown command {other:?}");
             eprintln!(
-                "usage: eblow-eval [table3|table4|table5|fig5|fig6|fig11|fig12|portfolio|agree|shard|select|bench|all] \
+                "usage: eblow-eval [table3|table4|table5|fig5|fig6|fig11|fig12|portfolio|agree|shard|select|bench|bench-diff|all] \
                  [--ilp-limit-s N] [--deadline-s N] [--case NAME] [--assert-within-ms N] [--tol-rel X] \
                  [--assert-no-worse-than-monolithic] [--assert-no-worse-than-full-zoo] \
-                 [--k N] [--stats PATH] [--out PATH]"
+                 [--k N] [--stats PATH] [--out PATH] [--rev LABEL] [--max-regress-pct N]"
             );
             std::process::exit(2);
         }

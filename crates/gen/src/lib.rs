@@ -192,7 +192,7 @@ pub fn generate(cfg: &GenConfig) -> Instance {
         None => Stencil::new(cfg.stencil_w, cfg.stencil_h).expect("invalid stencil configuration"),
     };
     let mut chars = Vec::with_capacity(cfg.n_chars);
-    let mut repeats = Vec::with_capacity(cfg.n_chars);
+    let mut repeats = Vec::with_capacity(cfg.n_chars * cfg.n_regions.max(1));
     for _ in 0..cfg.n_chars {
         let width = uniform(&mut rng, cfg.width.0, cfg.width.1);
         let height = match cfg.row_height {
@@ -243,28 +243,26 @@ pub fn generate(cfg: &GenConfig) -> Instance {
         // region with spill-over to a couple of neighbours (MCC regions
         // hold different layout areas), or spread uniformly for P = 1.
         let pop = popularity(&mut rng, cfg.repeats.1.max(1)).max(cfg.repeats.0.max(1));
-        let reps: Vec<u64> = if cfg.n_regions == 1 {
-            vec![pop]
+        if cfg.n_regions == 1 {
+            repeats.push(pop);
         } else {
             let home = rng.random_range(0..cfg.n_regions);
             let spread = 1 + rng.random_range(0..2usize);
-            (0..cfg.n_regions)
-                .map(|c| {
-                    let d = (c + cfg.n_regions - home) % cfg.n_regions;
-                    let base = if d == 0 {
-                        pop
-                    } else if d <= spread {
-                        pop / (2 * d as u64 + 1)
-                    } else {
-                        0
-                    };
-                    (base as f64 * region_scale[c]).round() as u64
-                })
-                .collect()
-        };
-        repeats.push(reps);
+            repeats.extend((0..cfg.n_regions).map(|c| {
+                let d = (c + cfg.n_regions - home) % cfg.n_regions;
+                let base = if d == 0 {
+                    pop
+                } else if d <= spread {
+                    pop / (2 * d as u64 + 1)
+                } else {
+                    0
+                };
+                (base as f64 * region_scale[c]).round() as u64
+            }));
+        }
     }
-    Instance::new(stencil, chars, repeats).expect("generator produced an invalid instance")
+    Instance::from_flat(stencil, chars, repeats, cfg.n_regions.max(1))
+        .expect("generator produced an invalid instance")
 }
 
 /// The named benchmark families of the paper's evaluation (§5).

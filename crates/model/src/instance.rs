@@ -74,10 +74,22 @@ impl Stencil {
     }
 }
 
+/// One nonzero column of a candidate's repeat row, in the CSR sparse view
+/// (see [`Instance::sparse_row`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SparseRepeat {
+    /// Region index `c` with `t_ic > 0`.
+    pub region: u32,
+    /// Repeat count `t_ic`.
+    pub repeats: u64,
+    /// Precomputed reduction `R_ic = t_ic · (n_i − 1)`.
+    pub reduction: u64,
+}
+
 /// A complete OSP instance for an MCC system (paper Problem 1).
 ///
 /// The wafer is divided into `P` regions, each written by one CP; all CPs
-/// share this stencil. `repeats[i][c]` is `t_ic`, the number of times
+/// share this stencil. `repeats(i, c)` is `t_ic`, the number of times
 /// character candidate `i` appears in region `c`.
 ///
 /// Writing-time accounting (Eqn. (1)):
@@ -88,15 +100,55 @@ impl Stencil {
 /// R_ic     = t_ic·(n_i − 1)
 /// T_total  = max_c T_c
 /// ```
+///
+/// # Storage layout
+///
+/// The repeat matrix is stored twice, in the two shapes the planners need:
+///
+/// * **Row-major slab** — one flat `Vec<u64>` of `n × P` entries
+///   (`repeats[i·P + c] = t_ic`), serving O(1) dense lookups
+///   ([`repeats`](Instance::repeats), [`repeat_row`](Instance::repeat_row))
+///   without the pointer chase and heap fragmentation of a `Vec<Vec<u64>>`.
+/// * **CSR sparse view** — per candidate, the list of regions with
+///   `t_ic > 0` as [`SparseRepeat`] entries carrying the *precomputed*
+///   reduction `R_ic = t_ic·(n_i − 1)`. MCC repeat matrices are sparse
+///   (most candidates live in a few "home" regions), so the inner loops of
+///   profit/writing-time accounting iterate only the nonzero columns and
+///   never multiply.
+///
+/// Derived per-candidate caches: `shot_saving` (`n_i − 1`) and the total
+/// reduction `Σ_c R_ic`.
+///
+/// Invariants (established by the constructors, relied on by
+/// `eblow-core`'s accounting):
+///
+/// * `sparse` entries of a row are in strictly increasing region order and
+///   contain exactly the columns with `t_ic > 0`;
+/// * `entry.reduction == entry.repeats · shot_saving(i)` exactly (u64);
+/// * `total_reduction(i) == Σ` of the row's `reduction` entries;
+/// * `vsb_time(c) == Σ_i t_ic · n_i`.
+///
+/// All dense accessors return values identical to the pre-slab
+/// `Vec<Vec<u64>>` layout, and [`InstanceDigest`](crate::InstanceDigest) /
+/// [`InstanceFeatures`](crate::InstanceFeatures) are bit-exactly unchanged
+/// by the layout — cache keys and selection statistics survive the swap.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Instance {
     stencil: Stencil,
     chars: Vec<Character>,
-    /// `repeats[i][c] = t_ic`.
-    repeats: Vec<Vec<u64>>,
+    /// Row-major slab: `repeats[i * num_regions + c] = t_ic`.
+    repeats: Vec<u64>,
     num_regions: usize,
     /// Cached `T_VSB_c` per region.
     vsb_times: Vec<u64>,
+    /// CSR offsets into `sparse`: row `i` is `sparse[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<u32>,
+    /// Nonzero repeat columns with precomputed reductions, row-major.
+    sparse: Vec<SparseRepeat>,
+    /// Cached `n_i − 1` per candidate.
+    shot_savings: Vec<u64>,
+    /// Cached `Σ_c R_ic` per candidate.
+    total_reductions: Vec<u64>,
 }
 
 impl Instance {
@@ -122,9 +174,6 @@ impl Instance {
             });
         }
         let num_regions = repeats.first().map(|r| r.len()).unwrap_or(1);
-        if num_regions == 0 {
-            return Err(ModelError::NoRegions);
-        }
         for (i, row) in repeats.iter().enumerate() {
             if row.len() != num_regions {
                 return Err(ModelError::RaggedRepeats {
@@ -134,18 +183,91 @@ impl Instance {
                 });
             }
         }
+        let mut flat = Vec::with_capacity(chars.len() * num_regions);
+        for row in &repeats {
+            flat.extend_from_slice(row);
+        }
+        Self::from_flat(stencil, chars, flat, num_regions)
+    }
+
+    /// Creates an instance from an already-flat row-major repeat slab
+    /// (`flat[i·num_regions + c] = t_ic`) — the allocation-free path for
+    /// generators and shard extraction, which otherwise would build a
+    /// nested `Vec<Vec<u64>>` only for [`Instance::new`] to flatten again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NoRegions`] when `num_regions == 0` and
+    /// [`ModelError::RaggedRepeats`] when `flat.len()` is not exactly
+    /// `chars.len() · num_regions`.
+    pub fn from_flat(
+        stencil: Stencil,
+        chars: Vec<Character>,
+        flat: Vec<u64>,
+        num_regions: usize,
+    ) -> Result<Self, ModelError> {
+        if num_regions == 0 {
+            return Err(ModelError::NoRegions);
+        }
+        if flat.len() != chars.len() * num_regions {
+            let rows = flat.len() / num_regions;
+            let remainder = flat.len() % num_regions;
+            return Err(if remainder != 0 {
+                // A trailing partial row: report its actual arity.
+                ModelError::RaggedRepeats {
+                    char_index: rows,
+                    got: remainder,
+                    expected: num_regions,
+                }
+            } else {
+                // Whole rows, wrong count — mirror `Instance::new`'s
+                // row-count mismatch reporting.
+                ModelError::RaggedRepeats {
+                    char_index: rows.min(chars.len()),
+                    got: rows,
+                    expected: chars.len(),
+                }
+            });
+        }
+        let n = chars.len();
         let mut vsb_times = vec![0u64; num_regions];
-        for (ch, reps) in chars.iter().zip(&repeats) {
-            for (c, &t) in reps.iter().enumerate() {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut sparse = Vec::new();
+        let mut shot_savings = Vec::with_capacity(n);
+        let mut total_reductions = Vec::with_capacity(n);
+        offsets.push(0u32);
+        for (i, ch) in chars.iter().enumerate() {
+            let saving = ch.shot_saving();
+            shot_savings.push(saving);
+            let mut total = 0u64;
+            for (c, &t) in flat[i * num_regions..(i + 1) * num_regions]
+                .iter()
+                .enumerate()
+            {
                 vsb_times[c] += t * ch.vsb_shots();
+                if t > 0 {
+                    let reduction = t * saving;
+                    total += reduction;
+                    sparse.push(SparseRepeat {
+                        region: c as u32,
+                        repeats: t,
+                        reduction,
+                    });
+                }
             }
+            total_reductions.push(total);
+            offsets.push(sparse.len() as u32);
         }
         Ok(Instance {
             stencil,
             chars,
-            repeats,
+            repeats: flat,
             num_regions,
             vsb_times,
+            offsets,
+            sparse,
+            shot_savings,
+            total_reductions,
         })
     }
 
@@ -197,13 +319,28 @@ impl Instance {
     /// Panics if `i` or `c` is out of range.
     #[inline]
     pub fn repeats(&self, i: usize, c: usize) -> u64 {
-        self.repeats[i][c]
+        debug_assert!(c < self.num_regions);
+        self.repeats[i * self.num_regions + c]
     }
 
     /// The full repeat row of character `i` across all regions.
     #[inline]
     pub fn repeat_row(&self, i: usize) -> &[u64] {
-        &self.repeats[i]
+        &self.repeats[i * self.num_regions..(i + 1) * self.num_regions]
+    }
+
+    /// The nonzero repeat columns of character `i` with precomputed
+    /// reductions, in increasing region order — the CSR view the hot
+    /// accounting loops iterate instead of scanning all `P` columns.
+    #[inline]
+    pub fn sparse_row(&self, i: usize) -> &[SparseRepeat] {
+        &self.sparse[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Cached per-use shot saving `n_i − 1` of character `i`.
+    #[inline]
+    pub fn shot_saving(&self, i: usize) -> u64 {
+        self.shot_savings[i]
     }
 
     /// Pure-VSB writing time `T_VSB_c` of region `c`.
@@ -222,7 +359,7 @@ impl Instance {
     /// character `i` on the stencil, for region `c`.
     #[inline]
     pub fn reduction(&self, i: usize, c: usize) -> u64 {
-        self.repeats[i][c] * self.chars[i].shot_saving()
+        self.repeats(i, c) * self.shot_savings[i]
     }
 
     /// Per-region writing times `T_c` for a given selection.
@@ -240,8 +377,8 @@ impl Instance {
         );
         let mut times = self.vsb_times.clone();
         for i in selection.iter_selected() {
-            for (c, t) in times.iter_mut().enumerate() {
-                *t -= self.reduction(i, c);
+            for e in self.sparse_row(i) {
+                times[e.region as usize] -= e.reduction;
             }
         }
         times
@@ -268,9 +405,10 @@ impl Instance {
     }
 
     /// Writing-time reduction summed over all regions (unweighted profit),
-    /// `Σ_c R_ic`.
+    /// `Σ_c R_ic`. Cached at construction — O(1).
+    #[inline]
     pub fn total_reduction(&self, i: usize) -> u64 {
-        (0..self.num_regions).map(|c| self.reduction(i, c)).sum()
+        self.total_reductions[i]
     }
 }
 
@@ -339,5 +477,66 @@ mod tests {
         assert!(Stencil::with_rows(10, 10, 0).is_err());
         assert!(Stencil::with_rows(10, 10, 11).is_err());
         assert!(Stencil::new(0, 5).is_err());
+    }
+
+    #[test]
+    fn sparse_view_matches_dense_rows() {
+        let inst = inst();
+        for i in 0..inst.num_chars() {
+            let mut dense_nonzeros = Vec::new();
+            for (c, &t) in inst.repeat_row(i).iter().enumerate() {
+                if t > 0 {
+                    dense_nonzeros.push(SparseRepeat {
+                        region: c as u32,
+                        repeats: t,
+                        reduction: t * inst.char(i).shot_saving(),
+                    });
+                }
+            }
+            assert_eq!(inst.sparse_row(i), &dense_nonzeros[..]);
+            assert_eq!(
+                inst.total_reduction(i),
+                (0..inst.num_regions())
+                    .map(|c| inst.reduction(i, c))
+                    .sum::<u64>()
+            );
+            assert_eq!(inst.shot_saving(i), inst.char(i).shot_saving());
+        }
+    }
+
+    #[test]
+    fn from_flat_equals_nested_constructor() {
+        let chars = vec![
+            Character::new(40, 40, [5, 5, 5, 5], 10).unwrap(),
+            Character::new(30, 40, [4, 6, 5, 5], 4).unwrap(),
+        ];
+        let nested = Instance::new(
+            Stencil::with_rows(200, 80, 40).unwrap(),
+            chars.clone(),
+            vec![vec![3, 0], vec![1, 5]],
+        )
+        .unwrap();
+        let flat = Instance::from_flat(
+            Stencil::with_rows(200, 80, 40).unwrap(),
+            chars,
+            vec![3, 0, 1, 5],
+            2,
+        )
+        .unwrap();
+        assert_eq!(nested, flat);
+        assert_eq!(nested.digest(), flat.digest());
+    }
+
+    #[test]
+    fn from_flat_rejects_bad_shapes() {
+        let chars = vec![Character::new(40, 40, [5, 5, 5, 5], 10).unwrap()];
+        assert!(matches!(
+            Instance::from_flat(Stencil::new(100, 100).unwrap(), chars.clone(), vec![1], 0),
+            Err(ModelError::NoRegions)
+        ));
+        assert!(matches!(
+            Instance::from_flat(Stencil::new(100, 100).unwrap(), chars, vec![1, 2, 3], 2),
+            Err(ModelError::RaggedRepeats { .. })
+        ));
     }
 }

@@ -61,7 +61,7 @@ pub use character::{Blanks, CharId, Character};
 pub use digest::{Fnv64, InstanceDigest};
 pub use error::ModelError;
 pub use features::InstanceFeatures;
-pub use instance::{Instance, Stencil};
+pub use instance::{Instance, SparseRepeat, Stencil};
 pub use placement1d::{Placement1d, Row};
 pub use placement2d::{PlacedChar, Placement2d};
 pub use selection::Selection;

@@ -128,9 +128,10 @@ impl SubInstance {
         chars: &[usize],
         stencil: Stencil,
     ) -> Result<Instance, ModelError> {
+        let regions = original.num_regions();
         let mut seen = vec![false; original.num_chars()];
         let mut sub_chars = Vec::with_capacity(chars.len());
-        let mut sub_repeats = Vec::with_capacity(chars.len());
+        let mut sub_repeats = Vec::with_capacity(chars.len() * regions);
         for &i in chars {
             if i >= original.num_chars() {
                 return Err(ModelError::UnknownChar {
@@ -143,9 +144,9 @@ impl SubInstance {
             }
             seen[i] = true;
             sub_chars.push(*original.char(i));
-            sub_repeats.push(original.repeat_row(i).to_vec());
+            sub_repeats.extend_from_slice(original.repeat_row(i));
         }
-        Instance::new(stencil, sub_chars, sub_repeats)
+        Instance::from_flat(stencil, sub_chars, sub_repeats, regions)
     }
 
     /// The extracted shard instance.

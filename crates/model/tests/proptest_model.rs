@@ -139,6 +139,82 @@ proptest! {
         let shuffled = Instance::new(inst.stencil(), chars, repeats).unwrap();
         prop_assert_eq!(InstanceFeatures::of(&inst), InstanceFeatures::of(&shuffled));
     }
+
+    /// The slab+CSR layout agrees *bit-exactly* with a reference dense
+    /// recompute of every accounting quantity: `repeats`, `reduction`,
+    /// `total_reduction`, `vsb_times`, and `writing_times` under arbitrary
+    /// selections — and the sparse view contains exactly the nonzero
+    /// columns with `reduction = t_ic · (n_i − 1)`.
+    #[test]
+    fn sparse_layout_matches_dense_reference(inst in instance(), sel_seed in any::<u64>()) {
+        let n = inst.num_chars();
+        let p = inst.num_regions();
+        // Reference dense structures rebuilt from the public row accessor.
+        let dense: Vec<Vec<u64>> = (0..n).map(|i| inst.repeat_row(i).to_vec()).collect();
+        for i in 0..n {
+            let saving = inst.char(i).shot_saving();
+            prop_assert_eq!(inst.shot_saving(i), saving);
+            let mut total = 0u64;
+            let mut nnz = Vec::new();
+            for c in 0..p {
+                prop_assert_eq!(inst.repeats(i, c), dense[i][c]);
+                let red = dense[i][c] * saving;
+                prop_assert_eq!(inst.reduction(i, c), red);
+                total += red;
+                if dense[i][c] > 0 {
+                    nnz.push((c as u32, dense[i][c], red));
+                }
+            }
+            prop_assert_eq!(inst.total_reduction(i), total);
+            let sparse: Vec<(u32, u64, u64)> = inst
+                .sparse_row(i)
+                .iter()
+                .map(|e| (e.region, e.repeats, e.reduction))
+                .collect();
+            prop_assert_eq!(sparse, nnz);
+        }
+        // Reference VSB times and writing times, dense formulas.
+        let mut vsb = vec![0u64; p];
+        for i in 0..n {
+            for c in 0..p {
+                vsb[c] += dense[i][c] * inst.char(i).vsb_shots();
+            }
+        }
+        prop_assert_eq!(inst.vsb_times(), &vsb[..]);
+        let mut state = sel_seed | 1;
+        for _ in 0..8 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let sel = Selection::from_mask((0..n).map(|i| (state >> (i % 64)) & 1 == 1).collect());
+            let mut expect = vsb.clone();
+            for i in sel.iter_selected() {
+                for c in 0..p {
+                    expect[c] -= inst.reduction(i, c);
+                }
+            }
+            prop_assert_eq!(inst.writing_times(&sel), expect);
+        }
+    }
+
+    /// `Instance::from_flat` and `Instance::new` build identical instances
+    /// (same equality, same digest, same features).
+    #[test]
+    fn from_flat_equals_nested(inst in instance()) {
+        let flat: Vec<u64> = (0..inst.num_chars())
+            .flat_map(|i| inst.repeat_row(i).to_vec())
+            .collect();
+        let rebuilt = Instance::from_flat(
+            inst.stencil(),
+            inst.chars().to_vec(),
+            flat,
+            inst.num_regions(),
+        )
+        .unwrap();
+        prop_assert_eq!(&rebuilt, &inst);
+        prop_assert_eq!(rebuilt.digest(), inst.digest());
+        prop_assert_eq!(InstanceFeatures::of(&rebuilt), InstanceFeatures::of(&inst));
+    }
 }
 
 fn permute<F: FnMut(&[usize])>(idx: &mut Vec<usize>, k: usize, f: &mut F) {
