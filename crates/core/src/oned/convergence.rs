@@ -17,6 +17,15 @@ use eblow_lp::{BranchBound, LpProblem, MilpConfig, Relation};
 use eblow_model::{CharId, Instance};
 use std::time::Duration;
 
+/// Residual-ILP binary variables across runs (counter `converge.ilp_vars`).
+static CONVERGE_ILP_VARS: eblow_trace::Counter = eblow_trace::Counter::new("converge.ilp_vars");
+/// Characters committed by the `a_ij > Uth` shortcut (counter
+/// `converge.by_threshold`).
+static CONVERGE_BY_THRESHOLD: eblow_trace::Counter =
+    eblow_trace::Counter::new("converge.by_threshold");
+/// Characters committed by the residual ILP (counter `converge.by_ilp`).
+static CONVERGE_BY_ILP: eblow_trace::Counter = eblow_trace::Counter::new("converge.by_ilp");
+
 /// Tunables for Algorithm 2.
 #[derive(Debug, Clone, Copy)]
 pub struct ConvergenceConfig {
@@ -235,6 +244,15 @@ pub fn fast_ilp_convergence<O: LpOracle + ?Sized>(
         .filter(|&k| !placed[k])
         .map(|k| items[k].char_index)
         .collect();
+    CONVERGE_ILP_VARS.add(stats.ilp_vars as u64);
+    CONVERGE_BY_THRESHOLD.add(stats.committed_by_threshold as u64);
+    CONVERGE_BY_ILP.add(stats.committed_by_ilp as u64);
+    eblow_trace::instant_with(
+        "converge.done",
+        stats.committed_by_threshold as i64,
+        stats.committed_by_ilp as i64,
+        || format!("ilp_vars={} leftover={}", stats.ilp_vars, leftover.len()),
+    );
     (leftover, stats)
 }
 

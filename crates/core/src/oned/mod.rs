@@ -151,17 +151,24 @@ impl Eblow1d {
         // Stage 1+2: simplified LP + successive rounding (Algorithm 1),
         // with the configured LP backend.
         let oracle = self.config.oracle.as_ref();
-        let mut outcome = successive_rounding(
-            instance,
-            &eligible,
-            num_rows,
-            &self.config.rounding,
-            oracle,
-            stop,
-        );
+        let _pipeline_span = eblow_trace::span_with("eblow1d.plan", || {
+            format!("chars={} rows={num_rows}", instance.num_chars())
+        });
+        let mut outcome = {
+            let _span = eblow_trace::span("eblow1d.rounding");
+            successive_rounding(
+                instance,
+                &eligible,
+                num_rows,
+                &self.config.rounding,
+                oracle,
+                stop,
+            )
+        };
 
         // Stage 3: fast ILP convergence (Algorithm 2), E-BLOW-1 only.
         if self.config.fast_ilp && !stop.is_set() {
+            let _span = eblow_trace::span("eblow1d.convergence");
             let lp = outcome.last_lp.take();
             let items = if lp.is_some() {
                 std::mem::take(&mut outcome.last_items)
@@ -196,6 +203,7 @@ impl Eblow1d {
 
         // Stage 4: refinement (Algorithm 3) — order each row, then repair
         // any row whose true (asymmetric) width exceeds the stencil.
+        let _refine_span = eblow_trace::span("eblow1d.refine");
         let mut rows: Vec<Row> = Vec::with_capacity(num_rows);
         for rs in &outcome.rows {
             // Refinement cannot be skipped (only ordered rows of verified
@@ -230,11 +238,13 @@ impl Eblow1d {
         }
         let mut placement = Placement1d::from_rows(rows);
         let mut selection = placement.selection(instance.num_chars());
+        drop(_refine_span);
 
         // Stage 5: post-swap (skipped when cancelled — the plan is already
         // valid at this point, the post stages only improve it; mid-stage
         // cancellation is handled inside via per-candidate polls).
         if self.config.post_swap && !stop.is_set() {
+            let _span = eblow_trace::span("eblow1d.post_swap");
             post_swap(
                 instance,
                 &mut placement,
@@ -247,6 +257,7 @@ impl Eblow1d {
 
         // Stage 6: post-insertion.
         if self.config.post_insertion && !stop.is_set() {
+            let _span = eblow_trace::span("eblow1d.post_insert");
             post_insert(
                 instance,
                 &mut placement,

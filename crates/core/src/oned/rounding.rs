@@ -27,6 +27,26 @@ use super::refine::{refine_width, WidthScratch};
 use crate::cancel::StopFlag;
 use crate::profit::RegionTimes;
 use eblow_model::{CharId, Instance};
+use eblow_trace as trace;
+
+/// LP iterations run across all rounding calls (counter `round.iters`).
+static ROUND_ITERS: trace::Counter = trace::Counter::new("round.iters");
+/// Characters committed by rounding (counter `round.committed`).
+static ROUND_COMMITTED: trace::Counter = trace::Counter::new("round.committed");
+/// LP solves seeded by a carried hint (counter `round.lp.warm`).
+static LP_WARM: trace::Counter = trace::Counter::new("round.lp.warm");
+/// LP solves from a cold start (counter `round.lp.cold`).
+static LP_COLD: trace::Counter = trace::Counter::new("round.lp.cold");
+/// LP iterations per rounding call (histogram `round.iters_per_call`).
+static ITERS_PER_CALL: trace::Histogram = trace::Histogram::new("round.iters_per_call");
+/// `RowState::admits` stage tallies — how often each stage of the staged
+/// admission test decided (counters `admits.*`). Stage order: clearly
+/// overfull estimate → exact symmetric estimate → beam-1 upper bound →
+/// exact width DP.
+static ADMITS_ESTIMATE_REJECT: trace::Counter = trace::Counter::new("admits.estimate_reject");
+static ADMITS_ESTIMATE_EXACT: trace::Counter = trace::Counter::new("admits.estimate_exact");
+static ADMITS_BEAM: trace::Counter = trace::Counter::new("admits.beam");
+static ADMITS_DP: trace::Counter = trace::Counter::new("admits.dp");
 
 /// Observable trace of the rounding loop, powering Figs. 5 and 6.
 #[derive(Debug, Clone, Default)]
@@ -119,14 +139,18 @@ impl RowState {
         // much, so a clearly overfull estimate is a safe early out.
         let estimate = self.eff_used + eff + self.max_blank.max(blank);
         if estimate > stencil_w + 8 {
+            ADMITS_ESTIMATE_REJECT.incr();
             return false;
         }
         if self.asym_members == 0 && c.blanks().left == c.blanks().right {
+            ADMITS_ESTIMATE_EXACT.incr();
             return estimate <= stencil_w;
         }
         if refine_width(instance, &self.members, Some(id), 1, &mut self.scratch) <= stencil_w {
+            ADMITS_BEAM.incr();
             return true;
         }
+        ADMITS_DP.incr();
         refine_width(instance, &self.members, Some(id), 8, &mut self.scratch) <= stencil_w
     }
 }
@@ -222,6 +246,12 @@ pub fn successive_rounding<O: LpOracle + ?Sized>(
                 .iter()
                 .map(|&i| MkpItem::of_char(instance, &region_times, i)),
         );
+        ROUND_ITERS.incr();
+        if hint.order().is_empty() {
+            LP_COLD.incr();
+        } else {
+            LP_WARM.incr();
+        }
         bases.clear();
         bases.extend(rows.iter().map(RowState::base));
         let lp = match oracle.solve_lp_warm(&items, &bases, w, &mut hint) {
@@ -285,6 +315,14 @@ pub fn successive_rounding<O: LpOracle + ?Sized>(
             }
         }
         trace.committed_per_iter.push(committed_count);
+        ROUND_COMMITTED.add(committed_count as u64);
+        // The LP objective trajectory: one point per rounding iteration.
+        trace::instant_with(
+            "round.iter",
+            unsolved.len() as i64,
+            committed_count as i64,
+            || format!("objective={:.3}", lp.objective),
+        );
 
         let before = unsolved.len();
         // `unsolved` and `items` are index-aligned; drop committed entries
@@ -324,6 +362,7 @@ pub fn successive_rounding<O: LpOracle + ?Sized>(
             trace.last_lp_histogram[bucket] += 1;
         }
     }
+    ITERS_PER_CALL.record(trace.unsolved_per_iter.len() as u64);
 
     RoundingOutcome {
         rows,

@@ -21,6 +21,11 @@
 
 use eblow_model::Instance;
 
+/// Full O(P) bottleneck re-scans forced by a select draining the last
+/// at-max region (counter `region.rescan`). The rescan-to-select ratio is
+/// the health metric of the incremental-max design.
+static RESCANS: eblow_trace::Counter = eblow_trace::Counter::new("region.rescan");
+
 /// Incrementally tracked per-region writing times for a partial selection.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegionTimes {
@@ -66,6 +71,7 @@ impl RegionTimes {
         }
         if self.at_max == 0 {
             // The last bottleneck region just dropped: one O(P) re-scan.
+            RESCANS.incr();
             let max = self.times.iter().copied().max().unwrap_or(0);
             self.max = max;
             self.at_max = self.times.iter().filter(|&&t| t == max).count();

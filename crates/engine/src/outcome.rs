@@ -82,6 +82,13 @@ pub struct PlanOutcome {
     /// its cancelled accounting so the plan cache's
     /// never-cache-degraded-races rule sees through composites.
     pub degraded: bool,
+    /// Whether the producing strategy *proved* this plan optimal (an exact
+    /// ILP that ran to `MilpStatus::Optimal` rather than timing out with an
+    /// incumbent). A proven-optimal plan cannot be beaten by any other
+    /// strategy, so the portfolio ends the race as soon as one arrives
+    /// instead of burning the rest of the deadline (optimality-aware early
+    /// exit).
+    pub proven_optimal: bool,
     /// The physical placement.
     pub detail: PlanDetail,
 }
@@ -96,6 +103,7 @@ impl PlanOutcome {
             total_time: plan.total_time,
             elapsed: plan.elapsed,
             degraded: false,
+            proven_optimal: false,
             detail: PlanDetail::OneD(plan),
         }
     }
@@ -109,6 +117,7 @@ impl PlanOutcome {
             total_time: plan.total_time,
             elapsed: plan.elapsed,
             degraded: false,
+            proven_optimal: false,
             detail: PlanDetail::TwoD(plan),
         }
     }
@@ -117,6 +126,13 @@ impl PlanOutcome {
     /// see [`PlanOutcome::degraded`].
     pub fn with_degraded(mut self, degraded: bool) -> Self {
         self.degraded = degraded;
+        self
+    }
+
+    /// Marks this plan as proven optimal by its producer — see
+    /// [`PlanOutcome::proven_optimal`].
+    pub fn with_proven_optimal(mut self, proven: bool) -> Self {
+        self.proven_optimal = proven;
         self
     }
 

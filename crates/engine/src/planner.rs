@@ -5,9 +5,18 @@ use crate::outcome::PlanOutcome;
 use crate::portfolio::{Portfolio, PortfolioConfig, PortfolioOutcome};
 use crate::select::Selector;
 use eblow_model::Instance;
+use eblow_trace as trace;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Plan-cache hits (counter `planner.cache.hit`).
+static CACHE_HITS: trace::Counter = trace::Counter::new("planner.cache.hit");
+/// Plan-cache misses (counter `planner.cache.miss`).
+static CACHE_MISSES: trace::Counter = trace::Counter::new("planner.cache.miss");
+/// Races whose result was *not* cached because the race was degraded by a
+/// deadline (counter `planner.cache.degraded_skip`).
+static CACHE_DEGRADED_SKIPS: trace::Counter = trace::Counter::new("planner.cache.degraded_skip");
 
 /// Result of planning one instance of a batch.
 #[derive(Debug, Clone)]
@@ -147,6 +156,8 @@ impl Planner {
         let key = self.cache_key(instance);
         if let Some(cached) = self.cache.lock().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            CACHE_HITS.incr();
+            trace::instant("planner.cache.hit", 0, 0);
             return PortfolioOutcome {
                 best: Some(cached.clone()),
                 reports: Vec::new(),
@@ -154,9 +165,12 @@ impl Planner {
                 // The cached plan proves at least one strategy supported
                 // the instance when it was first raced.
                 supported: 1,
+                early_exit: false,
             };
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        CACHE_MISSES.incr();
+        trace::instant("planner.cache.miss", 0, 0);
         let outcome = self.race(instance);
         // Deadline-degraded races are not cached: a later request under
         // less load deserves a fresh, full-quality race, not a permanently
@@ -168,6 +182,9 @@ impl Planner {
                     .expect("cache lock")
                     .insert(key, best.clone());
             }
+        } else {
+            CACHE_DEGRADED_SKIPS.incr();
+            trace::instant("planner.cache.degraded_skip", 0, 0);
         }
         outcome
     }
@@ -194,11 +211,13 @@ impl Planner {
                         break;
                     }
                     let instance = &instances[index];
+                    trace::instant("planner.batch.claim", index as i64, 0);
                     let key = self.cache_key(instance);
                     let cached = self.cache.lock().expect("cache lock").get(&key).cloned();
                     let result = match cached {
                         Some(outcome) => {
                             self.hits.fetch_add(1, Ordering::Relaxed);
+                            CACHE_HITS.incr();
                             BatchResult {
                                 index,
                                 outcome: Some(outcome),
@@ -207,6 +226,7 @@ impl Planner {
                         }
                         None => {
                             self.misses.fetch_add(1, Ordering::Relaxed);
+                            CACHE_MISSES.incr();
                             let raced = self.race(instance);
                             // Same rule as plan(): never cache a
                             // deadline-degraded race.
@@ -217,6 +237,8 @@ impl Planner {
                                         .expect("cache lock")
                                         .insert(key, best.clone());
                                 }
+                            } else {
+                                CACHE_DEGRADED_SKIPS.incr();
                             }
                             BatchResult {
                                 index,

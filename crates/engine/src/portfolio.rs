@@ -5,10 +5,18 @@ use crate::budget::Budget;
 use crate::outcome::{EngineError, PlanOutcome};
 use crate::strategy::Strategy;
 use eblow_model::Instance;
+use eblow_trace as trace;
 use std::fmt;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Races started (counter `race.runs`).
+static RACES: trace::Counter = trace::Counter::new("race.runs");
+/// Races ended by a proven-optimal plan (counter `race.early_exit`).
+static EARLY_EXITS: trace::Counter = trace::Counter::new("race.early_exit");
+/// Per-strategy wall-clock per race, in ms (histogram `race.strategy_ms`).
+static STRATEGY_MS: trace::Histogram = trace::Histogram::new("race.strategy_ms");
 
 /// Tunables of one portfolio race.
 #[derive(Debug, Clone)]
@@ -123,6 +131,12 @@ pub struct PortfolioOutcome {
     /// instance" outcome — nothing ran, so `best: None` means *unplannable
     /// with this portfolio*, not *planned and failed*.
     pub supported: usize,
+    /// Whether the race ended early because a strategy delivered a
+    /// *proven-optimal* plan ([`PlanOutcome::proven_optimal`]). Sibling
+    /// strategies were cancelled, but nothing of value was lost — no plan
+    /// can beat a certificate — so an early-exited race still counts as
+    /// [`complete`](PortfolioOutcome::complete).
+    pub early_exit: bool,
 }
 
 impl PortfolioOutcome {
@@ -132,11 +146,13 @@ impl PortfolioOutcome {
     }
 
     /// Whether the race ran to completion: no strategy was (possibly)
-    /// degraded by the deadline. Only complete races represent the
-    /// portfolio's full-quality answer for an instance — the plan cache
-    /// refuses to store anything else.
+    /// degraded by the deadline, *or* the race early-exited on a
+    /// proven-optimal plan (which no surviving strategy could have
+    /// beaten). Only complete races represent the portfolio's
+    /// full-quality answer for an instance — the plan cache refuses to
+    /// store anything else.
     pub fn complete(&self) -> bool {
-        self.reports.iter().all(|r| !r.cancelled)
+        self.early_exit || self.reports.iter().all(|r| !r.cancelled)
     }
 
     /// Whether *no* strategy in the portfolio supported the instance at
@@ -229,6 +245,14 @@ impl Portfolio {
     /// such as `shard1d`.
     pub fn run_with_budget(&self, instance: &Instance, budget: &Budget) -> PortfolioOutcome {
         let race_start = Instant::now();
+        RACES.incr();
+        let _race_span = trace::span_with("race", || {
+            format!(
+                "chars={} strategies={}",
+                instance.num_chars(),
+                self.strategies.len()
+            )
+        });
 
         // Reports start out Unsupported / Failed placeholders and are
         // overwritten as results arrive.
@@ -257,6 +281,10 @@ impl Portfolio {
                 let budget = budget.clone();
                 let tx = tx.clone();
                 scope.spawn(move || {
+                    // Label this worker's swim-lane with the strategy it
+                    // runs; the span covers plan + re-validation.
+                    trace::set_thread_label(strategy.name());
+                    let _span = trace::span(strategy.name());
                     let started = Instant::now();
                     let result = strategy
                         .plan(instance, &budget)
@@ -277,6 +305,8 @@ impl Portfolio {
 
             let mut pending = runnable.len();
             let mut results: Vec<(usize, Result<PlanOutcome, EngineError>, bool)> = Vec::new();
+            let mut early_exit = false;
+            let mut best_t_so_far: Option<u64> = None;
             while pending > 0 {
                 let msg = match budget.remaining() {
                     Some(rem) if !budget.is_cancelled() => {
@@ -285,6 +315,7 @@ impl Portfolio {
                             Err(mpsc::RecvTimeoutError::Timeout) => {
                                 // Deadline: raise the stop flag, then keep
                                 // draining — workers exit cooperatively.
+                                trace::instant("race.deadline_cancel", pending as i64, 0);
                                 budget.cancel();
                                 None
                             }
@@ -298,6 +329,39 @@ impl Portfolio {
                 };
                 if let Some((i, result, cancelled, elapsed)) = msg {
                     reports[i].elapsed = elapsed;
+                    if let Ok(outcome) = &result {
+                        STRATEGY_MS.record(elapsed.as_millis() as u64);
+                        trace::instant_with(
+                            "race.result",
+                            outcome.total_time as i64,
+                            i as i64,
+                            || reports[i].name.to_string(),
+                        );
+                        // The per-strategy T trajectory: the best valid T
+                        // seen so far, sampled each time a plan arrives.
+                        if best_t_so_far.is_none_or(|t| outcome.total_time < t) {
+                            best_t_so_far = Some(outcome.total_time);
+                            trace::value("race.best_t", outcome.total_time as i64);
+                        }
+                        // Optimality-aware early exit: a proven-optimal,
+                        // undegraded plan that arrived before any
+                        // cancellation is a certificate — no sibling can
+                        // beat it, so stop burning the rest of the
+                        // deadline. The drained siblings report as
+                        // Cancelled, but `complete()` stays true.
+                        if outcome.proven_optimal && !cancelled && !outcome.degraded && !early_exit
+                        {
+                            early_exit = true;
+                            EARLY_EXITS.incr();
+                            trace::instant_with(
+                                "race.early_exit",
+                                outcome.total_time as i64,
+                                pending as i64 - 1,
+                                || reports[i].name.to_string(),
+                            );
+                            budget.cancel();
+                        }
+                    }
                     results.push((i, result, cancelled));
                     pending -= 1;
                 }
@@ -327,14 +391,18 @@ impl Portfolio {
                     }
                 }
             }
-            if let Some((_, i, _)) = &best {
+            if let Some((t, i, _)) = &best {
                 reports[*i].status = StrategyStatus::Won;
+                trace::instant_with("race.winner", *t as i64, *i as i64, || {
+                    reports[*i].name.to_string()
+                });
             }
             PortfolioOutcome {
                 best: best.map(|(_, _, outcome)| outcome),
                 reports,
                 elapsed: race_start.elapsed(),
                 supported: runnable.len(),
+                early_exit,
             }
         })
     }

@@ -31,6 +31,10 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
+/// Full-registry fallback races after an emptied shortlist (counter
+/// `select.fallback`).
+static SELECT_FALLBACKS: eblow_trace::Counter = eblow_trace::Counter::new("select.fallback");
+
 /// Pseudo-count weight of the static prior against observed races: after
 /// this many observations the learned statistics carry as much weight as
 /// the prior.
@@ -578,8 +582,20 @@ impl Selector {
             self.k,
         );
         let names: Vec<&'static str> = shortlisted.iter().map(|s| s.name()).collect();
+        // The decision record: which strategies were shortlisted, and the
+        // feature snapshot that drove the scoring.
+        eblow_trace::instant_with(
+            "select.shortlist",
+            names.len() as i64,
+            registry.strategies().len() as i64,
+            || format!("[{}] {}", names.join(","), features.summary()),
+        );
         let (outcome, fell_back) =
             race_with_fallback(&Portfolio::new(shortlisted), registry, instance, config);
+        if fell_back {
+            SELECT_FALLBACKS.incr();
+            eblow_trace::instant("select.fallback", 0, 0);
+        }
         // Serialize under the lock, write outside it: the shared model is
         // also on the shard composites' deadline-sensitive path
         // (`resolve_target_chars`), which must never block on disk I/O.

@@ -31,9 +31,17 @@ use crate::strategy::Strategy;
 use eblow_core::{Plan1d, Plan2d};
 use eblow_model::shard::{stitch_1d, stitch_2d, SubInstance};
 use eblow_model::{CharId, Instance, Placement1d, Placement2d, Selection};
+use eblow_trace as trace;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Characters recovered by the post-stitch top-up (counter
+/// `shard.top_up_added`).
+static TOPUP_ADDED: trace::Counter = trace::Counter::new("shard.top_up_added");
+/// Duplicate placements reconciled away during stitching (counter
+/// `shard.duplicates_dropped`).
+static DUPLICATES_DROPPED: trace::Counter = trace::Counter::new("shard.duplicates_dropped");
 
 /// Tunables of the shard composite strategies.
 ///
@@ -393,6 +401,12 @@ fn race_shards(
         for (idx, (sub, shard_budget)) in subs.iter().zip(&budgets).enumerate() {
             let tx = tx.clone();
             scope.spawn(move || {
+                // One swim-lane per shard; the inner race's own spans nest
+                // under this one.
+                trace::set_thread_label("shard");
+                let _span = trace::span_with("shard.race", || {
+                    format!("shard={idx} chars={}", sub.instance().num_chars())
+                });
                 let outcome = inner.run_with_budget(sub.instance(), shard_budget);
                 // A closed channel means the collector gave up; nothing
                 // useful to do from a shard thread.
@@ -577,6 +591,14 @@ impl Strategy for Shard1dStrategy {
             ),
         })?;
         let subs = extract_all_1d(instance, &specs)?;
+        let _span = trace::span(self.name);
+        trace::instant_with("shard.split", subs.len() as i64, target as i64, || {
+            let sizes: Vec<String> = subs
+                .iter()
+                .map(|s| s.instance().num_chars().to_string())
+                .collect();
+            format!("sizes=[{}]", sizes.join(","))
+        });
         let (results, degraded) =
             race_shards(&self.inner, &subs, budget, self.config.stitch_reserve);
         let parts: Vec<(&SubInstance, &Placement1d)> = subs
@@ -604,9 +626,17 @@ impl Strategy for Shard1dStrategy {
             strategy: self.name,
             reason: format!("stitching failed: {e}"),
         })?;
+        DUPLICATES_DROPPED.add(stitched.duplicates_dropped as u64);
+        trace::instant(
+            "shard.stitch",
+            parts.len() as i64,
+            stitched.duplicates_dropped as i64,
+        );
         let mut placement = stitched.placement;
         let mut selection = stitched.selection;
-        top_up_1d(instance, &mut placement, &mut selection, budget);
+        let added = top_up_1d(instance, &mut placement, &mut selection, budget);
+        TOPUP_ADDED.add(added as u64);
+        trace::instant("shard.top_up", added as i64, 0);
         let region_times = instance.writing_times(&selection);
         let total_time = region_times.iter().copied().max().unwrap_or(0);
         Ok(PlanOutcome::from_1d(
@@ -702,6 +732,14 @@ impl Strategy for Shard2dStrategy {
                     .map_err(EngineError::Model)
             })
             .collect::<Result<_, _>>()?;
+        let _span = trace::span(self.name);
+        trace::instant_with("shard.split", subs.len() as i64, target as i64, || {
+            let sizes: Vec<String> = subs
+                .iter()
+                .map(|s| s.instance().num_chars().to_string())
+                .collect();
+            format!("sizes=[{}]", sizes.join(","))
+        });
         let (results, degraded) =
             race_shards(&self.inner, &subs, budget, self.config.stitch_reserve);
         let parts: Vec<(&SubInstance, &Placement2d)> = subs
@@ -727,6 +765,12 @@ impl Strategy for Shard2dStrategy {
             strategy: self.name,
             reason: format!("stitching failed: {e}"),
         })?;
+        DUPLICATES_DROPPED.add(stitched.duplicates_dropped as u64);
+        trace::instant(
+            "shard.stitch",
+            parts.len() as i64,
+            stitched.duplicates_dropped as i64,
+        );
         let region_times = instance.writing_times(&stitched.selection);
         let total_time = region_times.iter().copied().max().unwrap_or(0);
         Ok(PlanOutcome::from_2d(

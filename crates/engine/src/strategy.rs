@@ -16,6 +16,7 @@ use eblow_core::ilp::{solve_ilp_1d, solve_ilp_2d};
 use eblow_core::oned::{Eblow1d, Eblow1dConfig, ScaledOracle, SimplexOracle};
 use eblow_core::twod::{Eblow2d, Eblow2dConfig};
 use eblow_core::Plan1d;
+use eblow_lp::MilpStatus;
 use eblow_model::Instance;
 use std::fmt;
 use std::sync::Arc;
@@ -295,7 +296,11 @@ impl Strategy for ExactIlp1dStrategy {
                 elapsed: out.elapsed,
                 trace: None,
             },
-        ))
+        )
+        // `Optimal` means branch-and-bound ran to exhaustion, not to its
+        // time limit: the incumbent is a certificate, and the race can
+        // stop as soon as it validates (optimality-aware early exit).
+        .with_proven_optimal(out.status == MilpStatus::Optimal))
     }
 }
 
@@ -409,7 +414,8 @@ impl Strategy for ExactIlp2dStrategy {
                 total_time,
                 elapsed: out.elapsed,
             },
-        ))
+        )
+        .with_proven_optimal(out.status == MilpStatus::Optimal))
     }
 }
 

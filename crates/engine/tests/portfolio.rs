@@ -1,9 +1,14 @@
 //! Engine acceptance tests: determinism against direct planner calls,
 //! portfolio-race dominance, and plan-cache behaviour across batches.
 
-use eblow_engine::{strategy_by_name, Budget, Planner, Portfolio, PortfolioConfig, StrategyStatus};
+use eblow_engine::{
+    strategy_by_name, Budget, EngineError, PlanOutcome, Planner, Portfolio, PortfolioConfig,
+    Strategy, StrategyStatus,
+};
 use eblow_gen::GenConfig;
-use std::time::Duration;
+use eblow_model::Instance;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Same seed + single strategy through the engine ≡ the direct planner
 /// call: the Strategy wrapper adds no nondeterminism.
@@ -159,6 +164,106 @@ fn full_registry_race_returns_within_deadline_margin() {
         outcome.reports.len(),
         Portfolio::all_builtin().strategies().len()
     );
+}
+
+/// A deliberately slow portfolio member: parks until the race's stop flag
+/// rises (or a 20 s cap), then answers with greedy's plan. Racing it
+/// proves an early return happened because of the optimality certificate,
+/// not because every member happened to finish fast.
+struct Slowpoke;
+
+impl Strategy for Slowpoke {
+    fn name(&self) -> &'static str {
+        "slowpoke1d"
+    }
+    fn supports(&self, instance: &Instance) -> bool {
+        instance.num_rows().is_ok()
+    }
+    fn plan(&self, instance: &Instance, budget: &Budget) -> Result<PlanOutcome, EngineError> {
+        let start = Instant::now();
+        while !budget.is_cancelled() && start.elapsed() < Duration::from_secs(20) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        strategy_by_name("greedy1d").unwrap().plan(instance, budget)
+    }
+}
+
+/// Optimality-aware early exit: when the exact ILP returns a
+/// proven-optimal plan, the race must raise the stop flag and return
+/// immediately instead of waiting out slower siblings (pre-change, this
+/// race burned Slowpoke's full 20 s). The early-exited race still counts
+/// as complete — nothing can beat a certificate.
+/// Small enough that the exact ILP certifies optimality in well under a
+/// second even in debug builds — the early-exit latency assertion must
+/// measure the race's reaction time, not branch-and-bound throughput.
+fn early_exit_instance(seed: u64) -> eblow_model::Instance {
+    eblow_gen::generate(&GenConfig {
+        n_chars: 12,
+        n_regions: 1,
+        ..GenConfig::tiny_1d(seed)
+    })
+}
+
+#[test]
+fn proven_optimal_plan_short_circuits_the_race() {
+    let inst = early_exit_instance(83);
+    let portfolio = Portfolio::new(vec![Arc::new(Slowpoke), strategy_by_name("ilp1d").unwrap()]);
+    let config = PortfolioConfig {
+        deadline: Some(Duration::from_secs(30)),
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let outcome = portfolio.run(&inst, &config);
+    let elapsed = start.elapsed();
+    assert!(
+        outcome.early_exit,
+        "certificate must trigger the early exit"
+    );
+    assert!(outcome.complete(), "early-exited race is still complete");
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "race took {elapsed:?}; the certificate should cut Slowpoke's 20 s wait short"
+    );
+    let best = outcome.best.as_ref().expect("ilp1d plan");
+    assert_eq!(best.strategy, "ilp1d");
+    assert!(best.proven_optimal);
+    best.validate(&inst).unwrap();
+    let slow = outcome
+        .reports
+        .iter()
+        .find(|r| r.name == "slowpoke1d")
+        .unwrap();
+    assert!(slow.cancelled, "the certificate cancelled the sibling");
+}
+
+/// An early-exited race is cacheable: the sibling cancellations it caused
+/// do not trip the never-cache-degraded rule, so the second request is a
+/// pure cache hit with the same (optimal) plan.
+#[test]
+fn planner_caches_early_exited_races() {
+    let inst = early_exit_instance(84);
+    let planner = Planner::with_portfolio(Portfolio::new(vec![
+        Arc::new(Slowpoke),
+        strategy_by_name("ilp1d").unwrap(),
+    ]))
+    .with_config(PortfolioConfig {
+        deadline: Some(Duration::from_secs(30)),
+        ..Default::default()
+    });
+    let first = planner.plan(&inst);
+    assert!(first.early_exit);
+    let second = planner.plan(&inst);
+    let stats = planner.cache_stats();
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (1, 1),
+        "early-exited race must be cached"
+    );
+    assert_eq!(
+        first.best.as_ref().unwrap().total_time,
+        second.best.as_ref().unwrap().total_time
+    );
+    assert_eq!(second.best.unwrap().strategy, "ilp1d");
 }
 
 /// The second `plan_batch` pass over the same queue is served entirely

@@ -50,6 +50,17 @@
 //!                                   or wall-clock regression beyond N
 //!                                   percent (default 25); cases missing
 //!                                   from NEW fail, extra cases inform
+//! eblow-eval trace [--case NAME] [--deadline-s N] [--out-dir DIR]
+//!                                   races the full portfolio on one case
+//!                                   (default 1H-1) with the flight
+//!                                   recorder at Level::Full, writes
+//!                                   TRACE_<case>.jsonl and
+//!                                   TRACE_<case>.chrome.json (Perfetto /
+//!                                   chrome://tracing swim-lanes), prints
+//!                                   the aggregated summary, and
+//!                                   self-validates the Chrome artifact
+//!                                   (well-formed JSON, non-empty span per
+//!                                   raced strategy)
 //! eblow-eval all [--ilp-limit-s N]  everything above except shard/select/
 //!                                   bench (the huge cases are not part of
 //!                                   the paper's suite)
@@ -67,7 +78,7 @@ use eblow_core::twod::Eblow2d;
 use eblow_engine::select::{json_parse, json_quote, JsonValue};
 use eblow_engine::{
     strategy_by_name, write_text_atomic, Budget, Portfolio, PortfolioConfig, SelectionModel,
-    Selector,
+    Selector, StrategyStatus,
 };
 use eblow_gen::{table3_suite, table4_suite, Family, GenConfig};
 use eblow_lp::MilpStatus;
@@ -513,6 +524,14 @@ fn revision() -> String {
 /// CI uploads one per revision, so speed regressions (or wins) are
 /// comparable across commits. Exits non-zero if any case produces no valid
 /// plan.
+///
+/// Wall-clock attribution: `wall_s` is the race only (the portfolio's own
+/// `elapsed`); instance generation is timed separately into `gen_s` so a
+/// slow generator can never masquerade as a planner regression. The race
+/// runs with the flight recorder at `Level::Counters` and each row embeds
+/// the per-case counter deltas (`"counters"`), so the trajectory artifact
+/// doubles as a coarse behavioral fingerprint (cache hits, rounding
+/// iterations, early exits) across revisions.
 fn bench_cmd(deadline: Duration, out: Option<&str>, case: Option<&str>, rev_arg: Option<&str>) {
     let rev = rev_arg.map(String::from).unwrap_or_else(revision);
     // A single-case debug run must not clobber the full trajectory
@@ -542,12 +561,19 @@ fn bench_cmd(deadline: Duration, out: Option<&str>, case: Option<&str>, rev_arg:
         deadline: Some(deadline),
         ..Default::default()
     };
+    eblow_trace::set_level(eblow_trace::Level::Counters);
     let mut rows = Vec::new();
     let mut failed = false;
     for family in families {
         let name = family.name();
+        // Generation is timed apart from the race: `wall_s` must stay a
+        // pure planner number for cross-revision comparability.
+        let gen_start = std::time::Instant::now();
         let inst = eblow_gen::benchmark(family);
+        let gen_s = gen_start.elapsed().as_secs_f64();
+        let counters_before = eblow_trace::counter_values();
         let outcome = portfolio.run(&inst, &config);
+        let counter_deltas = counter_deltas_json(&counters_before);
         let Some(best) = &outcome.best else {
             eprintln!("FAIL: {name}: no valid plan under deadline");
             failed = true;
@@ -556,17 +582,24 @@ fn bench_cmd(deadline: Duration, out: Option<&str>, case: Option<&str>, rev_arg:
         best.validate(&inst)
             .unwrap_or_else(|e| panic!("{name}: winning plan invalid: {e}"));
         println!(
-            "{:6} | T_total {:>10}  chars {:>5}  wall {:>6.3}s  winner {}",
+            "{:6} | T_total {:>10}  chars {:>5}  wall {:>6.3}s  gen {:>6.3}s  winner {}{}",
             name,
             best.total_time,
             best.selection.count(),
             outcome.elapsed.as_secs_f64(),
-            best.strategy
+            gen_s,
+            best.strategy,
+            if outcome.early_exit {
+                "  (early exit: proven optimal)"
+            } else {
+                ""
+            }
         );
         rows.push(format!(
             "    {{\"case\": {}, \"kind\": {}, \"candidates\": {}, \"regions\": {}, \
-             \"t_total\": {}, \"chars_on_stencil\": {}, \"wall_s\": {:.6}, \
-             \"winner\": {}, \"complete\": {}, \"strategies_raced\": {}}}",
+             \"t_total\": {}, \"chars_on_stencil\": {}, \"wall_s\": {:.6}, \"gen_s\": {:.6}, \
+             \"winner\": {}, \"complete\": {}, \"early_exit\": {}, \"strategies_raced\": {}, \
+             \"counters\": {{{}}}}}",
             json_quote(&name),
             json_quote(if inst.num_rows().is_ok() { "1d" } else { "2d" }),
             inst.num_chars(),
@@ -574,11 +607,15 @@ fn bench_cmd(deadline: Duration, out: Option<&str>, case: Option<&str>, rev_arg:
             best.total_time,
             best.selection.count(),
             outcome.elapsed.as_secs_f64(),
+            gen_s,
             json_quote(best.strategy),
             outcome.complete(),
+            outcome.early_exit,
             outcome.supported,
+            counter_deltas,
         ));
     }
+    eblow_trace::set_level(eblow_trace::Level::Off);
     let generated = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -597,6 +634,144 @@ fn bench_cmd(deadline: Duration, out: Option<&str>, case: Option<&str>, rev_arg:
     if failed {
         std::process::exit(1);
     }
+}
+
+/// The non-zero counter movements since `before`, rendered as the inner
+/// `"name": delta` pairs of a JSON object (ascending name, no braces).
+/// Counters registered mid-race (absent from `before`) count from zero.
+fn counter_deltas_json(before: &[eblow_trace::CounterValue]) -> String {
+    eblow_trace::counter_values()
+        .iter()
+        .filter_map(|after| {
+            let base = before
+                .iter()
+                .find(|b| b.name == after.name)
+                .map_or(0, |b| b.value);
+            let delta = after.value.saturating_sub(base);
+            (delta > 0).then(|| format!("{}: {}", json_quote(after.name), delta))
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Races the full portfolio on one benchmark case with the flight recorder
+/// at `Level::Full` and exports the recording three ways: JSON-lines
+/// (`TRACE_<case>.jsonl`), Chrome trace-event format
+/// (`TRACE_<case>.chrome.json`, loadable in Perfetto or `chrome://tracing`
+/// — every strategy worker and shard lane renders as a swim-lane), and the
+/// aggregated human summary on stdout.
+///
+/// This is also CI's observability smoke gate, so it self-validates before
+/// exiting: the Chrome artifact must re-parse with the engine's own JSON
+/// parser, carry a non-empty `traceEvents` array, and contain at least one
+/// span-begin for *every* strategy that raced. Exits non-zero otherwise.
+fn trace_cmd(deadline: Duration, case: Option<&str>, out_dir: Option<&str>) {
+    let case = case.unwrap_or("1H-1");
+    let Some(family) = (1..=5)
+        .map(Family::T1)
+        .chain((1..=8).map(Family::M1))
+        .chain((1..=2).map(Family::H1))
+        .chain((1..=2).map(Family::H2))
+        .find(|f| f.name() == case)
+    else {
+        eprintln!("FAIL: unknown case {case:?}");
+        std::process::exit(2);
+    };
+    println!();
+    println!(
+        "== Flight-recorder trace: case {case} (deadline {:.1}s) ==",
+        deadline.as_secs_f64()
+    );
+    let inst = eblow_gen::benchmark(family);
+    let portfolio = Portfolio::all_builtin();
+    let config = PortfolioConfig {
+        deadline: Some(deadline),
+        ..Default::default()
+    };
+    eblow_trace::set_level(eblow_trace::Level::Full);
+    let outcome = portfolio.run(&inst, &config);
+    eblow_trace::set_level(eblow_trace::Level::Off);
+    // The race has joined its workers, so the rings are quiescent — the
+    // snapshot is complete and consistent (see eblow-trace's ring docs).
+    let snap = eblow_trace::snapshot();
+
+    let dir = std::path::Path::new(out_dir.unwrap_or("."));
+    let jsonl_path = dir.join(format!("TRACE_{case}.jsonl"));
+    let chrome_path = dir.join(format!("TRACE_{case}.chrome.json"));
+    let chrome = eblow_trace::export::to_chrome_trace(&snap);
+    write_text_atomic(&jsonl_path, &eblow_trace::export::to_jsonl(&snap))
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", jsonl_path.display()));
+    write_text_atomic(&chrome_path, &chrome)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", chrome_path.display()));
+
+    println!("{}", eblow_trace::export::summary(&snap));
+    if let Some(best) = &outcome.best {
+        println!(
+            "race: T_total {}  winner {}  wall {:.3}s{}",
+            best.total_time,
+            best.strategy,
+            outcome.elapsed.as_secs_f64(),
+            if outcome.early_exit {
+                "  (early exit: proven optimal)"
+            } else {
+                ""
+            }
+        );
+    }
+    println!("wrote {}", jsonl_path.display());
+    println!("wrote {}", chrome_path.display());
+
+    // Self-validation: the artifact CI uploads must actually load in a
+    // trace viewer, and every raced strategy must have left a swim-lane.
+    let root = json_parse(&chrome).unwrap_or_else(|e| {
+        eprintln!("FAIL: {}: not valid JSON: {e}", chrome_path.display());
+        std::process::exit(1);
+    });
+    let events = root
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .unwrap_or_else(|| {
+            eprintln!(
+                "FAIL: {}: missing \"traceEvents\" array",
+                chrome_path.display()
+            );
+            std::process::exit(1);
+        });
+    if events.is_empty() {
+        eprintln!("FAIL: {}: empty trace", chrome_path.display());
+        std::process::exit(1);
+    }
+    // Unsupported strategies never spawn a worker, so only the ones that
+    // actually raced owe the artifact a swim-lane.
+    let raced: Vec<&str> = outcome
+        .reports
+        .iter()
+        .filter(|r| r.status != StrategyStatus::Unsupported)
+        .map(|r| r.name)
+        .collect();
+    let mut failed = false;
+    for name in &raced {
+        let has_span = events.iter().any(|e| {
+            e.get("ph").and_then(JsonValue::as_str) == Some("B")
+                && e.get("name").and_then(JsonValue::as_str) == Some(*name)
+        });
+        if !has_span {
+            eprintln!(
+                "FAIL: {}: no span-begin for raced strategy {name:?}",
+                chrome_path.display()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "trace OK: {} events across {} lanes, all {} raced strategies present",
+        events.len(),
+        snap.threads.len(),
+        raced.len()
+    );
 }
 
 /// One benchmark-case row parsed from an `eblow-bench/1` artifact.
@@ -1024,6 +1199,11 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str);
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
     let max_regress_pct = args
         .iter()
         .position(|a| a == "--max-regress-pct")
@@ -1056,6 +1236,13 @@ fn main() {
             case,
             rev_arg,
         ),
+        // Same tight default deadline as `bench`: the trace artifact is a
+        // smoke gate + debugging aid, not an exhaustive solve.
+        "trace" => trace_cmd(
+            deadline_arg.unwrap_or(Duration::from_secs(3)),
+            case,
+            out_dir,
+        ),
         "bench-diff" => {
             let old_path = args.get(1).map(String::as_str).unwrap_or_else(|| {
                 eprintln!("usage: eblow-eval bench-diff OLD.json NEW.json [--max-regress-pct N]");
@@ -1080,10 +1267,10 @@ fn main() {
         other => {
             eprintln!("unknown command {other:?}");
             eprintln!(
-                "usage: eblow-eval [table3|table4|table5|fig5|fig6|fig11|fig12|portfolio|agree|shard|select|bench|bench-diff|all] \
+                "usage: eblow-eval [table3|table4|table5|fig5|fig6|fig11|fig12|portfolio|agree|shard|select|bench|bench-diff|trace|all] \
                  [--ilp-limit-s N] [--deadline-s N] [--case NAME] [--assert-within-ms N] [--tol-rel X] \
                  [--assert-no-worse-than-monolithic] [--assert-no-worse-than-full-zoo] \
-                 [--k N] [--stats PATH] [--out PATH] [--rev LABEL] [--max-regress-pct N]"
+                 [--k N] [--stats PATH] [--out PATH] [--out-dir DIR] [--rev LABEL] [--max-regress-pct N]"
             );
             std::process::exit(2);
         }

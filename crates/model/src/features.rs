@@ -101,6 +101,25 @@ impl InstanceFeatures {
             profit_cv,
         }
     }
+
+    /// A compact single-line rendering of the snapshot, used by trace
+    /// events that record *which features drove a decision* (e.g. the
+    /// selector's shortlist event) without serializing the whole struct.
+    pub fn summary(&self) -> String {
+        format!(
+            "chars={} regions={} rows={} kind={} cells={} mean_w={:.1} blank_frac={:.3} \
+             profit_mean={:.1} profit_cv={:.3}",
+            self.num_chars,
+            self.num_regions,
+            self.num_rows,
+            if self.is_1d { "1d" } else { "2d" },
+            self.cells,
+            self.mean_width,
+            self.blank_fraction,
+            self.profit_mean,
+            self.profit_cv,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 //! | [`lp`] | simplex + branch-and-bound MILP substrate |
 //! | [`kdtree`], [`matching`], [`seqpair`], [`anneal`] | algorithmic substrates |
 //! | [`hardness`] | executable NP-hardness reductions (3SAT → BSS → 1DOSP) |
+//! | [`trace`] | flight-recorder tracing/metrics (off by default; zero-overhead off) |
 //!
 //! # Quickstart
 //!
@@ -55,3 +56,4 @@ pub use eblow_lp as lp;
 pub use eblow_matching as matching;
 pub use eblow_model as model;
 pub use eblow_seqpair as seqpair;
+pub use eblow_trace as trace;
