@@ -1,0 +1,293 @@
+//! The ratchet: a committed `AUDIT_baseline.json` of accepted debt,
+//! keyed by `(rule, file)` **counts** rather than line numbers so that
+//! unrelated edits moving code around never trip CI — only genuinely new
+//! findings do. Same gate shape as `bench-diff` vs `BENCH_baseline.json`.
+//!
+//! The JSON reader/writer is hand-rolled (this crate is dependency-free);
+//! the format it reads is exactly the format it writes, and
+//! `--update-baseline` is the only producer.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// Schema tag written into every baseline and report artifact.
+pub const SCHEMA: &str = "eblow-audit/1";
+
+/// Accepted debt: `(rule, file) -> count`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    pub counts: BTreeMap<(String, String), usize>,
+}
+
+/// One ratchet violation: more findings of `rule` in `file` than the
+/// baseline admits.
+#[derive(Debug)]
+pub struct Regression {
+    pub rule: String,
+    pub file: String,
+    pub baseline: usize,
+    pub current: usize,
+}
+
+impl Baseline {
+    /// Aggregates findings into baseline counts.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut counts = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry((f.rule.to_string(), f.file.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// `(rule, file)` buckets where the current tree exceeds the baseline.
+    pub fn regressions(&self, current: &Baseline) -> Vec<Regression> {
+        current
+            .counts
+            .iter()
+            .filter(|((rule, file), &n)| {
+                n > self
+                    .counts
+                    .get(&(rule.clone(), file.clone()))
+                    .copied()
+                    .unwrap_or(0)
+            })
+            .map(|((rule, file), &n)| Regression {
+                rule: rule.clone(),
+                file: file.clone(),
+                baseline: self
+                    .counts
+                    .get(&(rule.clone(), file.clone()))
+                    .copied()
+                    .unwrap_or(0),
+                current: n,
+            })
+            .collect()
+    }
+
+    /// Buckets where debt was burned down (current < baseline) — the cue
+    /// to re-run `--update-baseline` and tighten the ratchet.
+    pub fn improvements(&self, current: &Baseline) -> Vec<Regression> {
+        self.counts
+            .iter()
+            .filter(|((rule, file), &n)| {
+                current
+                    .counts
+                    .get(&(rule.clone(), file.clone()))
+                    .copied()
+                    .unwrap_or(0)
+                    < n
+            })
+            .map(|((rule, file), &n)| Regression {
+                rule: rule.clone(),
+                file: file.clone(),
+                baseline: n,
+                current: current
+                    .counts
+                    .get(&(rule.clone(), file.clone()))
+                    .copied()
+                    .unwrap_or(0),
+            })
+            .collect()
+    }
+
+    /// Serializes to the committed JSON form (stable key order, so diffs
+    /// are reviewable).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": {},\n", quote(SCHEMA)));
+        s.push_str("  \"counts\": [\n");
+        let n = self.counts.len();
+        for (k, ((rule, file), count)) in self.counts.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"file\": {}, \"count\": {}}}{}\n",
+                quote(rule),
+                quote(file),
+                count,
+                if k + 1 < n { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses the committed JSON form. Errors are strings: the CLI turns
+    /// them into exit code 2.
+    pub fn from_json(src: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        if !src.contains("\"schema\"") || !src.contains(SCHEMA) {
+            return Err(format!("baseline is missing schema tag {SCHEMA:?}"));
+        }
+        // Entries are one-per-line objects; parse field-by-field. This is
+        // not a general JSON parser, but it round-trips `to_json` exactly
+        // and rejects anything else loudly.
+        for line in src.lines() {
+            let t = line.trim().trim_end_matches(',');
+            if !t.starts_with('{') || !t.contains("\"rule\"") {
+                continue;
+            }
+            let rule = field_str(t, "rule").ok_or_else(|| bad_entry(t))?;
+            let file = field_str(t, "file").ok_or_else(|| bad_entry(t))?;
+            let count: usize = field_raw(t, "count")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| bad_entry(t))?;
+            counts.insert((rule, file), count);
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+fn bad_entry(line: &str) -> String {
+    format!("malformed baseline entry: {line}")
+}
+
+/// Extracts a `"key": "value"` string field from a one-line JSON object.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let raw = field_raw(line, key)?;
+    let raw = raw.strip_prefix('"')?.strip_suffix('"')?;
+    Some(unescape(raw))
+}
+
+/// Extracts the raw text of `"key": <value>` up to the next `,` or `}`.
+fn field_raw(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = line[start..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        // String value: scan to the closing unescaped quote.
+        let mut out = String::from("\"");
+        let mut esc = false;
+        for c in stripped.chars() {
+            out.push(c);
+            if esc {
+                esc = false;
+            } else if c == '\\' {
+                esc = true;
+            } else if c == '"' {
+                return Some(out);
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim().to_string())
+    }
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut esc = false;
+    for c in s.chars() {
+        if esc {
+            out.push(match c {
+                'n' => '\n',
+                't' => '\t',
+                other => other,
+            });
+            esc = false;
+        } else if c == '\\' {
+            esc = true;
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// JSON string quoting (subset: the escapes paths and messages need).
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serializes the full findings report (the CI artifact uploaded next to
+/// the bench JSON).
+pub fn report_json(findings: &[Finding], files_scanned: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": {},\n", quote(SCHEMA)));
+    s.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    s.push_str(&format!("  \"total\": {},\n", findings.len()));
+    s.push_str("  \"findings\": [\n");
+    let n = findings.len();
+    for (k, f) in findings.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+            quote(f.rule),
+            quote(&f.file),
+            f.line,
+            quote(&f.message),
+            if k + 1 < n { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &'static str, file: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips() {
+        let b = Baseline::from_findings(&[
+            f("determinism", "a.rs"),
+            f("determinism", "a.rs"),
+            f("stop-flag-coverage", "b/c.rs"),
+        ]);
+        let parsed = Baseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn regressions_only_on_growth() {
+        let old = Baseline::from_findings(&[f("determinism", "a.rs")]);
+        let same = Baseline::from_findings(&[f("determinism", "a.rs")]);
+        assert!(old.regressions(&same).is_empty());
+
+        let grown = Baseline::from_findings(&[f("determinism", "a.rs"), f("determinism", "a.rs")]);
+        let regs = old.regressions(&grown);
+        assert_eq!(regs.len(), 1);
+        assert_eq!((regs[0].baseline, regs[0].current), (1, 2));
+
+        let new_file = Baseline::from_findings(&[f("determinism", "z.rs")]);
+        assert_eq!(old.regressions(&new_file).len(), 1);
+        assert_eq!(old.improvements(&new_file).len(), 1);
+    }
+
+    #[test]
+    fn quoting_escapes() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let b = Baseline::from_findings(&[f("determinism", "weird\"name.rs")]);
+        let parsed = Baseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn missing_schema_rejected() {
+        assert!(Baseline::from_json("{}").is_err());
+    }
+}

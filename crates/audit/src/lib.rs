@@ -1,0 +1,142 @@
+//! **eblow-audit** — repo-specific static analysis for the E-BLOW
+//! workspace, with a ratcheted findings baseline.
+//!
+//! The generic toolchain (`clippy -D warnings`, `rustfmt`) already runs in
+//! CI, but the invariants that have actually bitten this repository are
+//! ones no generic lint knows about: float comparators in planning sorts
+//! must be NaN-total, every long planning loop must poll its `StopFlag`,
+//! `unsafe` stays confined to the trace ring, digest/feature/persistence
+//! code must be bit-deterministic, and every lint suppression must say
+//! why. Each shipped as a reactive bug fix in PRs 1–5; this crate checks
+//! them on every commit instead.
+//!
+//! Architecture (same offline-shim philosophy as `crates/shims/`: no
+//! dependencies, hand-rolled everything):
+//!
+//! * [`lexer`] — a minimal Rust lexer that strips comments and literal
+//!   contents, so rules match token structure, never text inside strings
+//!   or docs.
+//! * [`rules`] — the rule passes over the token stream; the catalogue is
+//!   [`rules::RULES`]. Suppression: `// audit:allow(<rule>): <reason>` on
+//!   the finding's line or the line directly above.
+//! * [`baseline`] — the ratchet. `AUDIT_baseline.json` pins accepted debt
+//!   as `(rule, file)` counts; `--deny-new` fails CI only when a bucket
+//!   grows, so existing debt can be burned down without blocking merges.
+//!
+//! CLI (`cargo run -p eblow-audit -- help`): `check [--deny-new]
+//! [--update-baseline] [--self] [--report PATH]` and `rules`.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::Baseline;
+pub use rules::{scan_file, FileScan, Finding, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never scanned: build output, VCS state, and the
+/// audit's own known-bad rule fixtures.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", ".github"];
+
+/// Result of scanning a whole tree.
+#[derive(Debug, Default)]
+pub struct WorkspaceScan {
+    /// All unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Root-relative paths scanned (sorted).
+    pub files: Vec<String>,
+    /// Total `audit:allow` markers encountered (for the `--self` gate).
+    pub markers: usize,
+}
+
+/// Scans every `.rs` file under `root`, except [`SKIP_DIRS`] subtrees.
+/// Paths in findings are `root`-relative with `/` separators regardless
+/// of platform, so baselines are portable.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error message if `root` cannot be walked or
+/// a source file cannot be read.
+pub fn scan_workspace(root: &Path) -> Result<WorkspaceScan, String> {
+    scan_subtree(root, "")
+}
+
+/// Scans only `root/subtree` (used by `--self` to audit the audit crate).
+///
+/// # Errors
+///
+/// Same as [`scan_workspace`].
+pub fn scan_subtree(root: &Path, subtree: &str) -> Result<WorkspaceScan, String> {
+    let mut files = Vec::new();
+    let start = if subtree.is_empty() {
+        root.to_path_buf()
+    } else {
+        root.join(subtree)
+    };
+    collect_rs(&start, &mut files)?;
+    files.sort();
+
+    let mut out = WorkspaceScan::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|e| e.to_string())?
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let scan = scan_file(&rel, &src);
+        out.markers += scan.markers;
+        out.findings.extend(scan.findings);
+        out.files.push(rel);
+    }
+    out.findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("reading dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root by walking up from `start` until a
+/// directory containing `Cargo.lock` is found (the repo commits its
+/// lockfile, so this is unambiguous).
+///
+/// # Errors
+///
+/// Returns an error message if no ancestor holds a `Cargo.lock`.
+pub fn find_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(format!(
+                "no Cargo.lock found above {} — pass --root",
+                start.display()
+            ));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! `eblow-audit` — the CLI over the audit library.
+//!
+//! ```text
+//! eblow-audit check [--deny-new] [--update-baseline] [--self]
+//!                   [--root DIR] [--baseline PATH] [--report PATH]
+//! eblow-audit rules
+//! ```
+//!
+//! Exit codes: 0 clean (or debt fully covered by the baseline), 1 policy
+//! failure (`--deny-new` regression, or any finding/suppression in
+//! `--self` mode), 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use eblow_audit::baseline::{report_json, Baseline};
+use eblow_audit::{find_root, rules::RULES, scan_subtree, scan_workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}` (try `help`)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "eblow-audit — repo-specific static analysis with a ratcheted baseline\n\n\
+         USAGE:\n  eblow-audit check [--deny-new] [--update-baseline] [--self]\n\
+         \x20                   [--root DIR] [--baseline PATH] [--report PATH]\n\
+         \x20 eblow-audit rules\n\n\
+         FLAGS:\n\
+         \x20 --deny-new          exit 1 if any (rule, file) bucket exceeds the baseline\n\
+         \x20 --update-baseline   rewrite the baseline to the current findings\n\
+         \x20 --self              audit only crates/audit; any finding or\n\
+         \x20                     audit:allow marker is a failure\n\
+         \x20 --root DIR          workspace root (default: nearest ancestor with Cargo.lock)\n\
+         \x20 --baseline PATH     baseline file (default: <root>/AUDIT_baseline.json)\n\
+         \x20 --report PATH       also write the full findings report as JSON"
+    );
+}
+
+fn print_rules() {
+    println!("rule catalogue ({} rules):\n", RULES.len());
+    for r in RULES {
+        println!(
+            "  {}\n      {}\n      why: {}\n",
+            r.id, r.summary, r.rationale
+        );
+    }
+    println!(
+        "suppression: `// audit:allow(<rule>): <reason>` on the finding's line or the line above"
+    );
+}
+
+struct Opts {
+    deny_new: bool,
+    update_baseline: bool,
+    self_mode: bool,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    report: Option<PathBuf>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        deny_new: false,
+        update_baseline: false,
+        self_mode: false,
+        root: None,
+        baseline: None,
+        report: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny-new" => o.deny_new = true,
+            "--update-baseline" => o.update_baseline = true,
+            "--self" => o.self_mode = true,
+            "--root" => o.root = Some(take(&mut it, "--root")?),
+            "--baseline" => o.baseline = Some(take(&mut it, "--baseline")?),
+            "--report" => o.report = Some(take(&mut it, "--report")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+fn take(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<PathBuf, String> {
+    it.next()
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match opts.root.map(Ok).unwrap_or_else(|| {
+        std::env::current_dir()
+            .map_err(|e| e.to_string())
+            .and_then(|d| find_root(&d))
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let scan = if opts.self_mode {
+        scan_subtree(&root, "crates/audit")
+    } else {
+        scan_workspace(&root)
+    };
+    let scan = match scan {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &scan.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    println!(
+        "audit: {} finding(s) across {} file(s)",
+        scan.findings.len(),
+        scan.files.len()
+    );
+
+    if let Some(path) = &opts.report {
+        let json = report_json(&scan.findings, scan.files.len());
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: writing report {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("audit: report written to {}", path.display());
+    }
+
+    if opts.self_mode {
+        // The audit must run clean on its own sources, with zero
+        // suppression markers — the analyzer does not get to exempt itself.
+        if scan.markers > 0 {
+            eprintln!(
+                "audit --self: {} audit:allow marker(s) in crates/audit — not allowed",
+                scan.markers
+            );
+            return ExitCode::FAILURE;
+        }
+        if !scan.findings.is_empty() {
+            eprintln!("audit --self: findings in crates/audit — the analyzer must be clean");
+            return ExitCode::FAILURE;
+        }
+        println!("audit --self: clean");
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_path = opts
+        .baseline
+        .unwrap_or_else(|| root.join("AUDIT_baseline.json"));
+    let current = Baseline::from_findings(&scan.findings);
+
+    if opts.update_baseline {
+        if let Err(e) = std::fs::write(&baseline_path, current.to_json()) {
+            eprintln!("error: writing baseline {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "audit: baseline updated ({} bucket(s)) at {}",
+            current.counts.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.deny_new {
+        let committed = match std::fs::read_to_string(&baseline_path) {
+            Ok(s) => match Baseline::from_json(&s) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!(
+                    "error: reading baseline {}: {e} (run `check --update-baseline` once)",
+                    baseline_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        let regs = committed.regressions(&current);
+        for r in &regs {
+            eprintln!(
+                "NEW: [{}] {} — {} finding(s), baseline admits {}",
+                r.rule, r.file, r.current, r.baseline
+            );
+        }
+        let wins = committed.improvements(&current);
+        for w in &wins {
+            println!(
+                "ratchet: [{}] {} improved {} -> {} — run `check --update-baseline` to lock it in",
+                w.rule, w.file, w.baseline, w.current
+            );
+        }
+        if !regs.is_empty() {
+            eprintln!(
+                "audit: {} new finding bucket(s) vs baseline — fix them or suppress with \
+                 `// audit:allow(<rule>): <reason>`",
+                regs.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("audit: no new findings vs baseline");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,7 @@
+// Fixture: a bare lint suppression with no recorded reason. Must fire
+// allow-justification exactly once.
+
+pub struct S;
+
+#[allow(dead_code)]
+fn helper() {}

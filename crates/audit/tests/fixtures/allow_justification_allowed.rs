@@ -1,0 +1,9 @@
+// Fixture: the suppressed twin — the finding is silenced by an
+// audit:allow marker (which deliberately does NOT count as the missing
+// justification itself). Must produce zero findings.
+
+pub struct S;
+
+// audit:allow(allow-justification): fixture — demonstrating marker suppression
+#[allow(dead_code)]
+fn helper() {}

@@ -1,0 +1,7 @@
+// Fixture: wall-clock in a digest path. Scanned under a pretend
+// crates/model/src/digest.rs path, must fire determinism exactly once.
+
+pub fn stamp() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}

@@ -1,0 +1,8 @@
+// Fixture: the suppressed twin — same clock read, justified marker.
+// Must produce zero findings.
+
+pub fn stamp() -> u128 {
+    // audit:allow(determinism): fixture — the timestamp never feeds the digest
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root with no `#![forbid(unsafe_code)]` attribute —
+//! scanned under a pretend `crates/foo/src/lib.rs` path, it must fire
+//! unsafe-confinement exactly once (at line 1).
+
+pub fn noop() {}

@@ -1,0 +1,6 @@
+//! Fixture: the clean twin — the forbid attribute is present, so a crate
+//! root scan produces zero findings.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

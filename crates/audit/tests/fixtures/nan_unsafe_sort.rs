@@ -1,0 +1,9 @@
+// Fixture: the shipped NaN-unsafe comparator bug class. Must fire the
+// nan-unsafe-sort rule exactly once. Strings and comments mentioning
+// partial_cmp(..).unwrap() must NOT fire: the lexer strips them.
+
+pub fn sort_by_profit(xs: &mut Vec<(f64, usize)>) {
+    // A comment saying partial_cmp(&b.0).unwrap() changes nothing.
+    let _decoy = "partial_cmp(&b.0).unwrap()";
+    xs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+}

@@ -1,0 +1,7 @@
+// Fixture: the suppressed twin — same comparator, justified marker on the
+// line above. Must produce zero findings.
+
+pub fn sort_by_profit(xs: &mut Vec<(f64, usize)>) {
+    // audit:allow(nan-unsafe-sort): fixture — inputs proven finite by construction
+    xs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+}

@@ -1,0 +1,51 @@
+// Fixture: the same long loop, suppressed with a justified marker.
+
+pub fn long_sweep(n: u64) -> u64 {
+    let mut acc = 0u64;
+    // audit:allow(stop-flag-coverage): fixture — bounded arithmetic sweep with no deadline
+    for _ in 0..n {
+        acc = acc.wrapping_add(0);
+        acc = acc.wrapping_add(1);
+        acc = acc.wrapping_add(2);
+        acc = acc.wrapping_add(3);
+        acc = acc.wrapping_add(4);
+        acc = acc.wrapping_add(5);
+        acc = acc.wrapping_add(6);
+        acc = acc.wrapping_add(7);
+        acc = acc.wrapping_add(8);
+        acc = acc.wrapping_add(9);
+        acc = acc.wrapping_add(10);
+        acc = acc.wrapping_add(11);
+        acc = acc.wrapping_add(12);
+        acc = acc.wrapping_add(13);
+        acc = acc.wrapping_add(14);
+        acc = acc.wrapping_add(15);
+        acc = acc.wrapping_add(16);
+        acc = acc.wrapping_add(17);
+        acc = acc.wrapping_add(18);
+        acc = acc.wrapping_add(19);
+        acc = acc.wrapping_add(20);
+        acc = acc.wrapping_add(21);
+        acc = acc.wrapping_add(22);
+        acc = acc.wrapping_add(23);
+        acc = acc.wrapping_add(24);
+        acc = acc.wrapping_add(25);
+        acc = acc.wrapping_add(26);
+        acc = acc.wrapping_add(27);
+        acc = acc.wrapping_add(28);
+        acc = acc.wrapping_add(29);
+        acc = acc.wrapping_add(30);
+        acc = acc.wrapping_add(31);
+        acc = acc.wrapping_add(32);
+        acc = acc.wrapping_add(33);
+        acc = acc.wrapping_add(34);
+        acc = acc.wrapping_add(35);
+        acc = acc.wrapping_add(36);
+        acc = acc.wrapping_add(37);
+        acc = acc.wrapping_add(38);
+        acc = acc.wrapping_add(39);
+        acc = acc.wrapping_add(40);
+        acc = acc.wrapping_add(41);
+    }
+    acc
+}

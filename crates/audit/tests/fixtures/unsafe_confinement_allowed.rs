@@ -1,0 +1,7 @@
+// Fixture: the suppressed twin — same unsafe block, justified marker.
+// Must produce zero findings.
+
+pub fn read_first(xs: &[u64]) -> u64 {
+    // audit:allow(unsafe-confinement): fixture — bounds checked by the caller
+    unsafe { *xs.get_unchecked(0) }
+}

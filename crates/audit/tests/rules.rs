@@ -1,0 +1,173 @@
+//! Fixture-driven rule tests: every rule fires exactly once on its
+//! known-bad fixture and not at all on the suppressed/clean twin. The
+//! pretend paths passed to `scan_file` exercise each rule's scoping.
+
+use eblow_audit::rules::{scan_file, RULES};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+/// Asserts `rule` fires exactly once in `src` scanned as `rel`, and that
+/// no other rule fires at all.
+fn assert_fires_once(rel: &str, src: &str, rule: &str) {
+    let scan = scan_file(rel, src);
+    let hits: Vec<_> = scan.findings.iter().filter(|f| f.rule == rule).collect();
+    assert_eq!(
+        hits.len(),
+        1,
+        "{rule} on {rel}: expected exactly 1 finding, got {:?}",
+        scan.findings
+    );
+    assert_eq!(
+        scan.findings.len(),
+        1,
+        "{rule} on {rel}: unexpected extra findings {:?}",
+        scan.findings
+    );
+}
+
+fn assert_clean(rel: &str, src: &str) {
+    let scan = scan_file(rel, src);
+    assert!(
+        scan.findings.is_empty(),
+        "{rel}: expected no findings, got {:?}",
+        scan.findings
+    );
+}
+
+#[test]
+fn nan_unsafe_sort_fires_once_and_suppresses() {
+    let rel = "crates/core/src/oned/fixture.rs";
+    assert_fires_once(rel, &fixture("nan_unsafe_sort.rs"), "nan-unsafe-sort");
+    assert_clean(rel, &fixture("nan_unsafe_sort_allowed.rs"));
+}
+
+#[test]
+fn stop_flag_coverage_fires_once_and_suppresses() {
+    let rel = "crates/core/src/oned/fixture.rs";
+    assert_fires_once(rel, &fixture("stop_flag_coverage.rs"), "stop-flag-coverage");
+    assert_clean(rel, &fixture("stop_flag_coverage_allowed.rs"));
+}
+
+#[test]
+fn stop_flag_coverage_is_scoped_to_planning_crates() {
+    // The same long loop in a non-planning crate is not a finding.
+    assert_clean(
+        "crates/gen/src/fixture.rs",
+        &fixture("stop_flag_coverage.rs"),
+    );
+}
+
+#[test]
+fn unsafe_confinement_fires_once_and_suppresses() {
+    let rel = "crates/model/src/fixture.rs";
+    assert_fires_once(rel, &fixture("unsafe_confinement.rs"), "unsafe-confinement");
+    assert_clean(rel, &fixture("unsafe_confinement_allowed.rs"));
+}
+
+#[test]
+fn unsafe_is_permitted_in_the_trace_ring() {
+    assert_clean(
+        "crates/trace/src/ring.rs",
+        &fixture("unsafe_confinement.rs"),
+    );
+}
+
+#[test]
+fn crate_root_must_forbid_unsafe() {
+    let rel = "crates/foo/src/lib.rs";
+    assert_fires_once(rel, &fixture("missing_forbid.rs"), "unsafe-confinement");
+    assert_clean(rel, &fixture("missing_forbid_allowed.rs"));
+    // Non-root files in the same crate carry no forbid obligation.
+    assert_clean("crates/foo/src/other.rs", &fixture("missing_forbid.rs"));
+    // The trace crate root is exempt (it hosts the ring).
+    assert_clean("crates/trace/src/lib.rs", &fixture("missing_forbid.rs"));
+}
+
+#[test]
+fn determinism_fires_once_and_suppresses() {
+    let rel = "crates/model/src/digest.rs";
+    assert_fires_once(rel, &fixture("determinism.rs"), "determinism");
+    assert_clean(rel, &fixture("determinism_allowed.rs"));
+    // Outside the digest/feature/persistence scope, clocks are fine.
+    assert_clean("crates/model/src/instance.rs", &fixture("determinism.rs"));
+}
+
+#[test]
+fn allow_justification_fires_once_and_suppresses() {
+    let rel = "crates/model/src/fixture.rs";
+    assert_fires_once(
+        rel,
+        &fixture("allow_justification.rs"),
+        "allow-justification",
+    );
+    assert_clean(rel, &fixture("allow_justification_allowed.rs"));
+}
+
+#[test]
+fn justified_allow_is_clean() {
+    let src = "#[allow(dead_code)] // kept for the public API surface\nfn f() {}\n";
+    assert_clean("crates/model/src/fixture.rs", src);
+    let above = "// kept for the public API surface\n#[allow(dead_code)]\nfn f() {}\n";
+    assert_clean("crates/model/src/fixture.rs", above);
+}
+
+#[test]
+fn malformed_markers_are_findings() {
+    // Reason missing.
+    let src = "// audit:allow(determinism)\nfn f() {}\n";
+    let scan = scan_file("crates/gen/src/fixture.rs", src);
+    assert_eq!(scan.findings.len(), 1, "{:?}", scan.findings);
+    assert_eq!(scan.findings[0].rule, "allow-justification");
+
+    // Unknown rule id.
+    let src = "// audit:allow(no-such-rule): because\nfn f() {}\n";
+    let scan = scan_file("crates/gen/src/fixture.rs", src);
+    assert_eq!(scan.findings.len(), 1, "{:?}", scan.findings);
+    assert_eq!(scan.findings[0].rule, "allow-justification");
+}
+
+#[test]
+fn stale_markers_are_findings() {
+    // A well-formed marker that suppresses nothing is surfaced.
+    let src = "// audit:allow(nan-unsafe-sort): nothing here needs this\nfn f() {}\n";
+    let scan = scan_file("crates/gen/src/fixture.rs", src);
+    assert_eq!(scan.findings.len(), 1, "{:?}", scan.findings);
+    assert_eq!(scan.findings[0].rule, "allow-justification");
+    assert!(scan.findings[0].message.contains("stale"));
+}
+
+#[test]
+fn marker_count_is_reported() {
+    let scan = scan_file(
+        "crates/core/src/oned/fixture.rs",
+        &fixture("nan_unsafe_sort_allowed.rs"),
+    );
+    assert_eq!(scan.markers, 1);
+}
+
+#[test]
+fn every_rule_has_a_fixture_pair() {
+    // Keep the fixture set in lockstep with the catalogue: adding a rule
+    // without fixtures fails here by construction.
+    let dir = format!("{}/tests/fixtures", env!("CARGO_MANIFEST_DIR"));
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    for rule in RULES {
+        let stem = rule.id.replace('-', "_");
+        // unsafe-confinement has two bad/clean pairs (token + crate root);
+        // any fixture stem that starts with the rule stem counts.
+        let has_bad = names
+            .iter()
+            .any(|n| n.starts_with(&stem) && !n.contains("allowed"));
+        let has_twin = names
+            .iter()
+            .any(|n| n.starts_with(&stem) && n.contains("allowed"));
+        assert!(has_bad, "rule {} has no known-bad fixture", rule.id);
+        assert!(has_twin, "rule {} has no suppressed twin fixture", rule.id);
+    }
+}

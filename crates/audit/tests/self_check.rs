@@ -1,0 +1,72 @@
+//! The analyzer must hold itself to its own rules: zero findings and zero
+//! suppression markers across crates/audit (the `--self` CLI gate,
+//! asserted here so `cargo test` catches it without running the binary).
+
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    // crates/audit -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+}
+
+#[test]
+fn audit_is_clean_on_its_own_sources() {
+    let scan = eblow_audit::scan_subtree(repo_root(), "crates/audit").unwrap();
+    assert!(
+        scan.findings.is_empty(),
+        "the analyzer must be clean on itself: {:?}",
+        scan.findings
+    );
+    assert_eq!(
+        scan.markers, 0,
+        "the analyzer must not suppress its own findings"
+    );
+    // Sanity: the subtree scan actually saw the crate (lib, lexer, rules,
+    // baseline, main, plus these tests — fixtures are excluded).
+    assert!(
+        scan.files.len() >= 6,
+        "expected ≥6 files scanned, got {:?}",
+        scan.files
+    );
+    assert!(scan.files.iter().all(|f| !f.contains("/fixtures/")));
+}
+
+#[test]
+fn workspace_scan_matches_committed_baseline() {
+    // The committed ratchet must admit the current tree — this is the
+    // same invariant CI's `--deny-new` gate enforces, kept close to the
+    // code so a local `cargo test` catches drift before CI does.
+    let root = repo_root();
+    let scan = eblow_audit::scan_workspace(root).unwrap();
+    let current = eblow_audit::Baseline::from_findings(&scan.findings);
+    let committed = eblow_audit::Baseline::from_json(
+        &std::fs::read_to_string(root.join("AUDIT_baseline.json")).unwrap(),
+    )
+    .unwrap();
+    let regs = committed.regressions(&current);
+    assert!(
+        regs.is_empty(),
+        "new audit findings vs committed baseline: {regs:?}"
+    );
+}
+
+#[test]
+fn shipped_baseline_has_no_nan_or_unsafe_debt() {
+    // Acceptance criterion of the audit PR: the nan-unsafe-sort and
+    // unsafe-confinement debt was burned down, not baselined.
+    let root = repo_root();
+    let committed = eblow_audit::Baseline::from_json(
+        &std::fs::read_to_string(root.join("AUDIT_baseline.json")).unwrap(),
+    )
+    .unwrap();
+    for ((rule, file), count) in &committed.counts {
+        assert!(
+            rule != "nan-unsafe-sort" && rule != "unsafe-confinement",
+            "baseline carries {count} {rule} finding(s) in {file} — this debt must stay at zero"
+        );
+    }
+}

@@ -1,2 +1,4 @@
 //! Criterion benches live in `benches/`; see DESIGN.md §5 for the
 //! experiment-to-bench mapping.
+
+#![forbid(unsafe_code)]

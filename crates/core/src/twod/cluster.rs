@@ -11,6 +11,7 @@
 //! minimum of the children's facing blanks, so any placement that is legal
 //! at node level is legal at character level (see DESIGN.md §4).
 
+use crate::cancel::StopFlag;
 use eblow_kdtree::KdTree;
 use eblow_model::{Blanks, CharId, Instance};
 
@@ -190,6 +191,19 @@ pub fn cluster(
     profits: &[f64],
     bound: f64,
 ) -> Vec<PackNode> {
+    cluster_with_stop(instance, candidates, profits, bound, StopFlag::NEVER)
+}
+
+/// Like [`cluster`], but polls `stop` between merge rounds. A cancelled
+/// run returns the clustering reached so far — every candidate is still
+/// present (merged or standalone), so downstream packing stays valid.
+pub fn cluster_with_stop(
+    instance: &Instance,
+    candidates: &[usize],
+    profits: &[f64],
+    bound: f64,
+    stop: StopFlag<'_>,
+) -> Vec<PackNode> {
     let w = instance.stencil().width();
     let h = instance.stencil().height();
     let mut nodes: Vec<PackNode> = candidates
@@ -197,7 +211,7 @@ pub fn cluster(
         .map(|&i| PackNode::single(instance, CharId::from(i), profits[i]))
         .collect();
 
-    loop {
+    while !stop.is_set() {
         // Most profitable first, so high-value characters cluster together.
         // `total_cmp` keeps a NaN profit (e.g. from a degenerate dynamic
         // profit upstream) from panicking the sort: NaN gets a fixed place
@@ -310,6 +324,20 @@ mod tests {
         assert_eq!(m.num_members(), 2);
         assert_eq!(m.members[1].1, 35); // dx = 40 − 5
         assert_eq!(m.profit, 20.0);
+    }
+
+    #[test]
+    fn pre_raised_stop_skips_clustering_but_loses_no_character() {
+        use std::sync::atomic::AtomicBool;
+        let inst = uniform_instance(8);
+        let profits = vec![45.0; 8];
+        let cands: Vec<usize> = (0..8).collect();
+        let raised = AtomicBool::new(true);
+        let nodes = cluster_with_stop(&inst, &cands, &profits, 0.2, StopFlag::new(&raised));
+        // Cancelled before the first merge round: all singletons.
+        assert_eq!(nodes.len(), 8);
+        let members: usize = nodes.iter().map(PackNode::num_members).sum();
+        assert_eq!(members, 8, "no character may be lost under cancellation");
     }
 
     #[test]

@@ -13,7 +13,7 @@ mod cluster;
 mod sa;
 mod skyline;
 
-pub use cluster::{cluster, prefilter, PackNode};
+pub use cluster::{cluster, cluster_with_stop, prefilter, PackNode};
 pub use sa::{NodeGeometry, OrderState, SeqPairState, SpMove};
 pub use skyline::{shelf_pack, ShelfPacking};
 
@@ -118,9 +118,11 @@ impl Eblow2d {
         // Stage 1: pre-filter.
         let kept = prefilter(instance, &profits, self.config.prefilter_factor);
 
-        // Stage 2: clustering.
+        // Stage 2: clustering (polls `stop` between merge rounds, so a
+        // deadline raised during clustering of a huge instance is honored
+        // before SA ever starts).
         let nodes: Vec<PackNode> = if self.config.clustering {
-            cluster(instance, &kept, &profits, self.config.cluster_bound)
+            cluster_with_stop(instance, &kept, &profits, self.config.cluster_bound, stop)
         } else {
             kept.iter()
                 .map(|&i| PackNode::single(instance, eblow_model::CharId::from(i), profits[i]))
@@ -165,11 +167,14 @@ impl Eblow2d {
         objective.sum_objective = self.config.sum_objective;
 
         // Initial order: profit density, the same greedy the baselines use.
+        // `total_cmp` (not `partial_cmp().unwrap()`): a degenerate node —
+        // NaN profit, or zero area making the density 0/0 — must sort to
+        // the back deterministically instead of panicking the SA seed.
         let mut order: Vec<usize> = (0..nodes.len()).collect();
         order.sort_by(|&a, &b| {
             let da = nodes[a].profit / (nodes[a].width * nodes[a].height) as f64;
             let db = nodes[b].profit / (nodes[b].width * nodes[b].height) as f64;
-            db.partial_cmp(&da).unwrap().then(a.cmp(&b))
+            db.total_cmp(&da).then(a.cmp(&b))
         });
 
         let use_seqpair = match self.config.engine {
@@ -297,6 +302,20 @@ mod tests {
             .unwrap();
         plan.placement.validate(&inst).unwrap();
         assert_eq!(plan.total_time, inst.total_writing_time(&plan.selection));
+    }
+
+    #[test]
+    fn anneal_survives_nan_profit_node() {
+        // Regression for the NaN-unsafe `partial_cmp().unwrap()` in the
+        // SA seed's density sort: a NaN-profit node (e.g. from a
+        // degenerate dynamic-profit update) must not panic the pipeline.
+        let inst = eblow_gen::generate(&GenConfig::tiny_2d(16));
+        let profits = vec![f64::NAN; inst.num_chars()];
+        let nodes: Vec<PackNode> = (0..inst.num_chars())
+            .map(|i| PackNode::single(&inst, eblow_model::CharId::from(i), profits[i]))
+            .collect();
+        let positions = Eblow2d::default().anneal(&inst, &nodes, StopFlag::NEVER);
+        assert_eq!(positions.len(), nodes.len());
     }
 
     #[test]

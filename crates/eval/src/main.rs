@@ -70,6 +70,8 @@
 //! registry — the same entry point production callers use — so the numbers
 //! here measure exactly what the engine serves.
 
+#![forbid(unsafe_code)]
+
 use eblow_core::ilp::{solve_ilp_1d, solve_ilp_2d};
 use eblow_core::oned::{
     CombinatorialOracle, Eblow1d, Eblow1dConfig, LpOracle, MkpItem, RowBase, SimplexOracle,

@@ -109,6 +109,7 @@ impl<const K: usize, T> KdTree<K, T> {
         let mid = order.len() / 2;
         order.select_nth_unstable_by(mid, |&a, &b| {
             nodes[a].point[axis]
+                // audit:allow(nan-unsafe-sort): build() panics on NaN points up front, so the comparator can never observe one
                 .partial_cmp(&nodes[b].point[axis])
                 .expect("NaN rejected at build")
         });
@@ -241,6 +242,8 @@ impl<const K: usize, T> KdTree<K, T> {
         self.root.and_then(|r| self.find_rec(r, lo, hi))
     }
 
+    // The (&point, &value, id) hit triple is the query's natural return;
+    // naming it would add a type for one private helper — hence the allow.
     #[allow(clippy::type_complexity)]
     fn find_rec(
         &self,

@@ -240,6 +240,8 @@ pub mod strategy {
         ($($name:ident),+) => {
             impl<$($name: Strategy),+> Strategy for ($($name,)+) {
                 type Value = ($($name::Value,)+);
+                // The macro reuses the tuple type parameters as binding
+                // names (`let (A, B) = self`) — hence the allow.
                 #[allow(non_snake_case)]
                 fn new_value(&self, rng: &mut TestRng) -> Self::Value {
                     let ($($name,)+) = self;
@@ -470,6 +472,8 @@ macro_rules! __proptest_fns {
                 $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
                 let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
                     $body
+                    // `$body` may end in `prop_assert!` early returns that
+                    // make this Ok unreachable in some expansions.
                     #[allow(unreachable_code)]
                     ::std::result::Result::Ok(())
                 })();
