@@ -10,8 +10,14 @@
 use crate::rules::Finding;
 use std::collections::BTreeMap;
 
-/// Schema tag written into every baseline and report artifact.
-pub const SCHEMA: &str = "eblow-audit/1";
+/// Schema tag written into every baseline and report artifact. Schema 2
+/// (this version) adds the four interprocedural rules to the bucket
+/// vocabulary; the entry format is unchanged.
+pub const SCHEMA: &str = "eblow-audit/2";
+
+/// The previous schema tag. Still read transparently — a v1 baseline
+/// migrates to v2 the next time `--update-baseline` writes it.
+pub const SCHEMA_V1: &str = "eblow-audit/1";
 
 /// Accepted debt: `(rule, file) -> count`.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -113,12 +119,27 @@ impl Baseline {
         s
     }
 
-    /// Parses the committed JSON form. Errors are strings: the CLI turns
-    /// them into exit code 2.
+    /// Parses the committed JSON form, accepting both the current schema
+    /// and schema-1 (migrated transparently: the entry format never
+    /// changed, only the rule vocabulary grew). Unknown or missing schema
+    /// tags are a hard error. Errors are strings: the CLI turns them into
+    /// exit code 2.
     pub fn from_json(src: &str) -> Result<Baseline, String> {
         let mut counts = BTreeMap::new();
-        if !src.contains("\"schema\"") || !src.contains(SCHEMA) {
-            return Err(format!("baseline is missing schema tag {SCHEMA:?}"));
+        match read_schema(src) {
+            Some(s) if s == SCHEMA || s == SCHEMA_V1 => {}
+            Some(s) => {
+                return Err(format!(
+                    "unsupported baseline schema {s:?} — this binary reads {SCHEMA:?} (and \
+                     migrates {SCHEMA_V1:?}); regenerate with `check --update-baseline`"
+                ));
+            }
+            None => {
+                return Err(format!(
+                    "baseline has no schema tag — expected {SCHEMA:?}; regenerate with \
+                     `check --update-baseline`"
+                ));
+            }
         }
         // Entries are one-per-line objects; parse field-by-field. This is
         // not a general JSON parser, but it round-trips `to_json` exactly
@@ -141,6 +162,11 @@ impl Baseline {
 
 fn bad_entry(line: &str) -> String {
     format!("malformed baseline entry: {line}")
+}
+
+/// Extracts the schema tag value, wherever it appears in the file.
+pub fn read_schema(src: &str) -> Option<String> {
+    src.lines().find_map(|l| field_str(l.trim(), "schema"))
 }
 
 /// Extracts a `"key": "value"` string field from a one-line JSON object.
@@ -288,6 +314,29 @@ mod tests {
 
     #[test]
     fn missing_schema_rejected() {
-        assert!(Baseline::from_json("{}").is_err());
+        let err = Baseline::from_json("{}").unwrap_err();
+        assert!(err.contains("no schema tag"), "{err}");
+    }
+
+    #[test]
+    fn v1_baselines_are_read_transparently() {
+        let b =
+            Baseline::from_findings(&[f("determinism", "a.rs"), f("stop-flag-coverage", "b/c.rs")]);
+        // A v1 file is byte-identical except for the tag.
+        let v1 = b.to_json().replace(SCHEMA, SCHEMA_V1);
+        assert_eq!(read_schema(&v1).as_deref(), Some(SCHEMA_V1));
+        let parsed = Baseline::from_json(&v1).unwrap();
+        assert_eq!(parsed, b);
+        // Re-serializing writes the current schema: that is the migration.
+        assert_eq!(read_schema(&parsed.to_json()).as_deref(), Some(SCHEMA));
+    }
+
+    #[test]
+    fn unknown_schema_is_a_clear_error() {
+        let b = Baseline::from_findings(&[f("determinism", "a.rs")]);
+        let future = b.to_json().replace(SCHEMA, "eblow-audit/99");
+        let err = Baseline::from_json(&future).unwrap_err();
+        assert!(err.contains("unsupported baseline schema"), "{err}");
+        assert!(err.contains("eblow-audit/99"), "{err}");
     }
 }

@@ -8,15 +8,22 @@
 //! a token with a line number; literals collapse to an opaque [`Tok::Lit`]
 //! so their *contents* can never match a rule.
 
-/// A lexed token kind. Literal contents are deliberately discarded.
+/// A lexed token kind. Literal contents are deliberately opaque to the
+/// ident-matching rules: only [`Tok::Ident`] participates in identifier
+/// searches, so nothing inside a string can ever satisfy (or trip) a
+/// token rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Tok {
     /// Identifier or keyword (`unsafe`, `while`, `partial_cmp`, ...).
     Ident(String),
     /// A single punctuation character (`#`, `[`, `(`, `.`, `{`, ...).
     Punct(char),
-    /// String/char/byte/numeric literal, contents stripped.
+    /// Char/byte/numeric literal, contents stripped.
     Lit,
+    /// String literal (plain, raw, or byte). The contents are preserved —
+    /// the workspace model reads trace-name literals out of them — but no
+    /// rule matches identifiers inside a `Str`.
+    Str(String),
     /// A lifetime such as `'a` (distinct from a char literal).
     Lifetime,
 }
@@ -143,13 +150,16 @@ pub fn lex(src: &str) -> Lexed {
             }
             debug_assert!(i < b.len() && b[i] == '"');
             i += 1; // opening quote
+            let mut text = String::new();
             loop {
                 if i >= b.len() {
                     break;
                 }
                 if b[i] == '\\' && !raw {
+                    text.push(b[i]);
                     i += 1;
                     if i < b.len() {
+                        text.push(b[i]);
                         bump!();
                     }
                     continue;
@@ -166,10 +176,11 @@ pub fn lex(src: &str) -> Lexed {
                         break;
                     }
                 }
+                text.push(b[i]);
                 bump!();
             }
             out.tokens.push(Token {
-                tok: Tok::Lit,
+                tok: Tok::Str(text),
                 line: start_line,
             });
             continue;
@@ -217,10 +228,13 @@ pub fn lex(src: &str) -> Lexed {
         if c == '"' {
             let start_line = line;
             i += 1;
+            let mut text = String::new();
             while i < b.len() {
                 if b[i] == '\\' {
+                    text.push(b[i]);
                     i += 1;
                     if i < b.len() {
+                        text.push(b[i]);
                         bump!();
                     }
                     continue;
@@ -229,10 +243,11 @@ pub fn lex(src: &str) -> Lexed {
                     i += 1;
                     break;
                 }
+                text.push(b[i]);
                 bump!();
             }
             out.tokens.push(Token {
-                tok: Tok::Lit,
+                tok: Tok::Str(text),
                 line: start_line,
             });
             continue;
@@ -375,6 +390,20 @@ mod tests {
             .find(|t| matches!(&t.tok, Tok::Ident(s) if s == "after"))
             .unwrap();
         assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn string_contents_are_preserved_but_not_idents() {
+        let lexed = lex(r##"trace::span("race.best_t"); let r = r#"raw.name"#;"##);
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, ["race.best_t", "raw.name"]);
     }
 
     #[test]

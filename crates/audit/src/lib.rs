@@ -16,23 +16,36 @@
 //! * [`lexer`] — a minimal Rust lexer that strips comments and literal
 //!   contents, so rules match token structure, never text inside strings
 //!   or docs.
-//! * [`rules`] — the rule passes over the token stream; the catalogue is
+//! * [`rules`] — the token-local rule passes; the catalogue is
 //!   [`rules::RULES`]. Suppression: `// audit:allow(<rule>): <reason>` on
 //!   the finding's line or the line directly above.
+//! * [`model`] — lightweight semantic indexing on top of the lexer:
+//!   fn/impl/trait signatures, loops, call expressions, trace sites. No
+//!   full AST — just enough structure to resolve same-workspace calls.
+//! * [`graph`] — the workspace symbol table + call graph built from the
+//!   per-file models, and the `graph`/`glossary` JSON serializers.
+//! * [`interproc`] — the four interprocedural rules over that graph:
+//!   stop-flag-reachability, trace-name-registry, hot-loop-allocation,
+//!   span-guard-binding.
 //! * [`baseline`] — the ratchet. `AUDIT_baseline.json` pins accepted debt
 //!   as `(rule, file)` counts; `--deny-new` fails CI only when a bucket
 //!   grows, so existing debt can be burned down without blocking merges.
 //!
 //! CLI (`cargo run -p eblow-audit -- help`): `check [--deny-new]
-//! [--update-baseline] [--self] [--report PATH]` and `rules`.
+//! [--update-baseline] [--self] [--report PATH]`, `graph [--out PATH]`,
+//! `glossary [--write | --check]`, and `rules`.
 
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod graph;
+pub mod interproc;
 pub mod lexer;
+pub mod model;
 pub mod rules;
 
 pub use baseline::Baseline;
+pub use interproc::AuditContext;
 pub use rules::{scan_file, FileScan, Finding, RULES};
 
 use std::path::{Path, PathBuf};
@@ -54,7 +67,9 @@ pub struct WorkspaceScan {
 
 /// Scans every `.rs` file under `root`, except [`SKIP_DIRS`] subtrees.
 /// Paths in findings are `root`-relative with `/` separators regardless
-/// of platform, so baselines are portable.
+/// of platform, so baselines are portable. The full-workspace scan runs
+/// both the token-local and the interprocedural rules, with the README
+/// and hot-path manifest loaded from `root`.
 ///
 /// # Errors
 ///
@@ -65,11 +80,111 @@ pub fn scan_workspace(root: &Path) -> Result<WorkspaceScan, String> {
 }
 
 /// Scans only `root/subtree` (used by `--self` to audit the audit crate).
+/// Subtree scans run with an empty [`AuditContext`]: the hot-path
+/// manifest and README drift checks are whole-workspace properties and
+/// would misfire on a slice of the tree.
 ///
 /// # Errors
 ///
 /// Same as [`scan_workspace`].
 pub fn scan_subtree(root: &Path, subtree: &str) -> Result<WorkspaceScan, String> {
+    let sources = collect_sources(root, subtree)?;
+    let ctx = if subtree.is_empty() {
+        load_context(root)
+    } else {
+        AuditContext::default()
+    };
+    Ok(scan_sources(&sources, &ctx))
+}
+
+/// The full pipeline over in-memory sources: lex each file once, run the
+/// token rules and build the per-file model from the same token stream,
+/// assemble the workspace call graph, run the interprocedural rules, then
+/// apply `audit:allow` suppressions per file across *all* of a file's
+/// findings (so a marker consumed by an interprocedural finding is not
+/// reported stale). Findings anchored to non-source files (the hot-path
+/// manifest) pass through unsuppressed.
+pub fn scan_sources(sources: &[(String, String)], ctx: &AuditContext) -> WorkspaceScan {
+    let mut models = Vec::with_capacity(sources.len());
+    let mut raws: Vec<Vec<Finding>> = Vec::with_capacity(sources.len());
+    let mut markers_per_file = Vec::with_capacity(sources.len());
+    let mut marker_total = 0usize;
+    for (rel, src) in sources {
+        let lexed = lexer::lex(src);
+        let markers = rules::parse_markers(&lexed);
+        marker_total += markers.len();
+        raws.push(rules::token_findings(rel, &lexed, &markers));
+        models.push(model::parse_lexed(rel, &lexed));
+        markers_per_file.push(markers);
+    }
+
+    let ws = graph::WorkspaceModel::build(models);
+    let cg = graph::CallGraph::build(&ws);
+    let by_rel: std::collections::BTreeMap<&str, usize> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, (rel, _))| (rel.as_str(), i))
+        .collect();
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in interproc::interproc_findings(&ws, &cg, ctx) {
+        match by_rel.get(f.file.as_str()) {
+            Some(&i) => raws[i].push(f),
+            None => findings.push(f),
+        }
+    }
+
+    for (i, (rel, _)) in sources.iter().enumerate() {
+        let raw = std::mem::take(&mut raws[i]);
+        findings.extend(rules::apply_markers(rel, raw, &markers_per_file[i]));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    WorkspaceScan {
+        findings,
+        files: sources.iter().map(|(rel, _)| rel.clone()).collect(),
+        markers: marker_total,
+    }
+}
+
+/// Reads the interprocedural-rule inputs from the workspace root: the
+/// README (trace-name drift) and `AUDIT_hotpaths.txt` (hot-loop scope).
+/// Both are optional — a missing file just disables its check.
+pub fn load_context(root: &Path) -> AuditContext {
+    let hotpaths = std::fs::read_to_string(root.join(interproc::HOTPATH_MANIFEST))
+        .map(|s| {
+            s.lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    AuditContext {
+        readme: std::fs::read_to_string(root.join("README.md")).ok(),
+        hotpaths,
+    }
+}
+
+/// Builds the workspace model + call graph for the `graph` and `glossary`
+/// subcommands, without running any rules.
+///
+/// # Errors
+///
+/// Same as [`scan_workspace`].
+pub fn workspace_graph(root: &Path) -> Result<(graph::WorkspaceModel, graph::CallGraph), String> {
+    let sources = collect_sources(root, "")?;
+    let ws = graph::WorkspaceModel::build(
+        sources
+            .iter()
+            .map(|(rel, src)| model::parse_file(rel, src))
+            .collect(),
+    );
+    let cg = graph::CallGraph::build(&ws);
+    Ok((ws, cg))
+}
+
+/// Collects `(root-relative path, contents)` for every `.rs` file under
+/// `root/subtree`, sorted by path.
+fn collect_sources(root: &Path, subtree: &str) -> Result<Vec<(String, String)>, String> {
     let mut files = Vec::new();
     let start = if subtree.is_empty() {
         root.to_path_buf()
@@ -79,7 +194,7 @@ pub fn scan_subtree(root: &Path, subtree: &str) -> Result<WorkspaceScan, String>
     collect_rs(&start, &mut files)?;
     files.sort();
 
-    let mut out = WorkspaceScan::default();
+    let mut out = Vec::with_capacity(files.len());
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -90,13 +205,8 @@ pub fn scan_subtree(root: &Path, subtree: &str) -> Result<WorkspaceScan, String>
             .join("/");
         let src = std::fs::read_to_string(&path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let scan = scan_file(&rel, &src);
-        out.markers += scan.markers;
-        out.findings.extend(scan.findings);
-        out.files.push(rel);
+        out.push((rel, src));
     }
-    out.findings
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(out)
 }
 

@@ -3,17 +3,21 @@
 //! ```text
 //! eblow-audit check [--deny-new] [--update-baseline] [--self]
 //!                   [--root DIR] [--baseline PATH] [--report PATH]
+//! eblow-audit graph [--root DIR] [--out PATH]
+//! eblow-audit glossary [--root DIR] [--out PATH] [--write | --check]
 //! eblow-audit rules
 //! ```
 //!
 //! Exit codes: 0 clean (or debt fully covered by the baseline), 1 policy
-//! failure (`--deny-new` regression, or any finding/suppression in
-//! `--self` mode), 2 usage or I/O error.
+//! failure (`--deny-new` regression, any finding/suppression in `--self`
+//! mode, or a stale glossary under `glossary --check`), 2 usage or I/O
+//! error.
 
 #![forbid(unsafe_code)]
 
-use eblow_audit::baseline::{report_json, Baseline};
-use eblow_audit::{find_root, rules::RULES, scan_subtree, scan_workspace};
+use eblow_audit::baseline::{read_schema, report_json, Baseline, SCHEMA, SCHEMA_V1};
+use eblow_audit::graph::{glossary_json, graph_json};
+use eblow_audit::{find_root, rules::RULES, scan_subtree, scan_workspace, workspace_graph};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -21,6 +25,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => check(&args[1..]),
+        Some("graph") => graph_cmd(&args[1..]),
+        Some("glossary") => glossary_cmd(&args[1..]),
         Some("rules") => {
             print_rules();
             ExitCode::SUCCESS
@@ -41,6 +47,8 @@ fn print_help() {
         "eblow-audit — repo-specific static analysis with a ratcheted baseline\n\n\
          USAGE:\n  eblow-audit check [--deny-new] [--update-baseline] [--self]\n\
          \x20                   [--root DIR] [--baseline PATH] [--report PATH]\n\
+         \x20 eblow-audit graph [--root DIR] [--out PATH]\n\
+         \x20 eblow-audit glossary [--root DIR] [--out PATH] [--write | --check]\n\
          \x20 eblow-audit rules\n\n\
          FLAGS:\n\
          \x20 --deny-new          exit 1 if any (rule, file) bucket exceeds the baseline\n\
@@ -49,7 +57,14 @@ fn print_help() {
          \x20                     audit:allow marker is a failure\n\
          \x20 --root DIR          workspace root (default: nearest ancestor with Cargo.lock)\n\
          \x20 --baseline PATH     baseline file (default: <root>/AUDIT_baseline.json)\n\
-         \x20 --report PATH       also write the full findings report as JSON"
+         \x20 --report PATH       also write the full findings report as JSON\n\n\
+         GRAPH/GLOSSARY:\n\
+         \x20 graph               print the workspace symbol table + call graph as JSON\n\
+         \x20 glossary            print the trace-name glossary as JSON\n\
+         \x20 --out PATH          write the JSON to PATH instead of stdout (for\n\
+         \x20                     --write/--check the default is <root>/TRACE_GLOSSARY.json)\n\
+         \x20 --write             glossary: write <root>/TRACE_GLOSSARY.json\n\
+         \x20 --check             glossary: exit 1 if <root>/TRACE_GLOSSARY.json is stale"
     );
 }
 
@@ -105,6 +120,134 @@ fn take(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<PathBuf, St
         .ok_or_else(|| format!("{flag} needs a value"))
 }
 
+/// Resolves the workspace root: `--root` if given, else walk up from cwd.
+fn resolve_root(root: Option<PathBuf>) -> Result<PathBuf, String> {
+    root.map(Ok).unwrap_or_else(|| {
+        std::env::current_dir()
+            .map_err(|e| e.to_string())
+            .and_then(|d| find_root(&d))
+    })
+}
+
+/// `graph`: serialize the workspace symbol table + call graph.
+fn graph_cmd(args: &[String]) -> ExitCode {
+    let mut root = None;
+    let mut out = None;
+    let mut it = args.iter();
+    let parsed = loop {
+        match it.next().map(String::as_str) {
+            Some("--root") => match take(&mut it, "--root") {
+                Ok(p) => root = Some(p),
+                Err(e) => break Err(e),
+            },
+            Some("--out") => match take(&mut it, "--out") {
+                Ok(p) => out = Some(p),
+                Err(e) => break Err(e),
+            },
+            Some(other) => break Err(format!("unknown flag `{other}`")),
+            None => break Ok(()),
+        }
+    };
+    let json = match parsed
+        .and_then(|()| resolve_root(root))
+        .and_then(|r| workspace_graph(&r))
+    {
+        Ok((ws, cg)) => graph_json(&ws, &cg),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("error: writing graph {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            println!("audit: graph written to {}", path.display());
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// `glossary`: serialize, write, or verify the trace-name glossary.
+fn glossary_cmd(args: &[String]) -> ExitCode {
+    let mut root = None;
+    let mut out = None;
+    let mut write = false;
+    let mut check_mode = false;
+    let mut it = args.iter();
+    let parsed = loop {
+        match it.next().map(String::as_str) {
+            Some("--root") => match take(&mut it, "--root") {
+                Ok(p) => root = Some(p),
+                Err(e) => break Err(e),
+            },
+            Some("--out") => match take(&mut it, "--out") {
+                Ok(p) => out = Some(p),
+                Err(e) => break Err(e),
+            },
+            Some("--write") => write = true,
+            Some("--check") => check_mode = true,
+            Some(other) => break Err(format!("unknown flag `{other}`")),
+            None => break Ok(()),
+        }
+    };
+    if write && check_mode {
+        eprintln!("error: --write and --check are mutually exclusive");
+        return ExitCode::from(2);
+    }
+    let root = match parsed.and_then(|()| resolve_root(root)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let json = match workspace_graph(&root) {
+        Ok((ws, _)) => glossary_json(&ws),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let path = out.unwrap_or_else(|| root.join("TRACE_GLOSSARY.json"));
+    if check_mode {
+        match std::fs::read_to_string(&path) {
+            Ok(committed) if committed == json => {
+                println!("audit: glossary up to date ({})", path.display());
+                ExitCode::SUCCESS
+            }
+            Ok(_) => {
+                eprintln!(
+                    "audit: {} is stale against the source tree — run `eblow-audit glossary \
+                     --write` and commit the result",
+                    path.display()
+                );
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!(
+                    "audit: cannot read {}: {e} — run `eblow-audit glossary --write`",
+                    path.display()
+                );
+                ExitCode::FAILURE
+            }
+        }
+    } else if write {
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: writing glossary {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("audit: glossary written to {}", path.display());
+        ExitCode::SUCCESS
+    } else {
+        print!("{json}");
+        ExitCode::SUCCESS
+    }
+}
+
 fn check(args: &[String]) -> ExitCode {
     let opts = match parse_opts(args) {
         Ok(o) => o,
@@ -113,11 +256,7 @@ fn check(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let root = match opts.root.map(Ok).unwrap_or_else(|| {
-        std::env::current_dir()
-            .map_err(|e| e.to_string())
-            .and_then(|d| find_root(&d))
-    }) {
+    let root = match resolve_root(opts.root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -195,7 +334,15 @@ fn check(args: &[String]) -> ExitCode {
     if opts.deny_new {
         let committed = match std::fs::read_to_string(&baseline_path) {
             Ok(s) => match Baseline::from_json(&s) {
-                Ok(b) => b,
+                Ok(b) => {
+                    if read_schema(&s).as_deref() == Some(SCHEMA_V1) {
+                        println!(
+                            "audit: baseline is schema {SCHEMA_V1} — read transparently; the \
+                             next `check --update-baseline` rewrites it as {SCHEMA}"
+                        );
+                    }
+                    b
+                }
                 Err(e) => {
                     eprintln!("error: {}: {e}", baseline_path.display());
                     return ExitCode::from(2);

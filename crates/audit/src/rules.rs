@@ -49,6 +49,37 @@ pub const RULES: &[RuleInfo] = &[
         rationale: "suppressions without a recorded why rot: the next reader cannot tell a \
                     load-bearing exemption from a stale one",
     },
+    RuleInfo {
+        id: "stop-flag-reachability",
+        summary: "function on a `plan`/`*_with_stop` call chain loops but never receives or \
+                  polls a stop flag",
+        rationale: "the in-file ≥40-line heuristic cannot see a wrapper that drops the \
+                    `StopFlag` mid-call-chain; the call graph can — every loop reachable \
+                    from a cancellation entry point must stay cancellable",
+    },
+    RuleInfo {
+        id: "trace-name-registry",
+        summary: "trace name breaks `area.noun` naming, is registered twice, or is missing \
+                  from the README Observability glossary",
+        rationale: "flight-recorder names are the observability API: a duplicated counter \
+                    double-counts, a counter/histogram clash corrupts one instrument, and a \
+                    name absent from the docs is invisible to operators",
+    },
+    RuleInfo {
+        id: "hot-loop-allocation",
+        summary: "`Vec::new`/`clone()`/`collect()`/`to_vec()`/`format!` inside a loop of an \
+                  AUDIT_hotpaths.txt function",
+        rationale: "the slab+CSR rewrite (PR 5) earned its speedups by hoisting per-iteration \
+                    allocations out of exactly these bench_hotpaths-measured loops; fresh \
+                    allocations there silently regress what the bench gate only catches later",
+    },
+    RuleInfo {
+        id: "span-guard-binding",
+        summary: "`span()`/`span_with()` guard not bound to a named `let` — the `SpanGuard` \
+                  drops immediately",
+        rationale: "an unbound guard records a zero-length span: the trace looks instrumented \
+                    but times nothing, which is worse than no span at all",
+    },
 ];
 
 /// Returns `true` iff `id` names a rule in [`RULES`].
@@ -77,7 +108,7 @@ pub struct FileScan {
 }
 
 /// A parsed `// audit:allow(<rule>): <reason>` suppression marker.
-struct Marker {
+pub(crate) struct Marker {
     rule: String,
     reason_ok: bool,
     rule_ok: bool,
@@ -90,21 +121,40 @@ struct Marker {
 /// multi-second sweep that ignores its deadline.
 const LONG_LOOP_LINES: u32 = 40;
 
-/// Scans one file. `rel` is the path relative to the workspace root and
-/// drives per-rule scoping; `src` is the file contents.
+/// Scans one file with the token-local rules only. `rel` is the path
+/// relative to the workspace root and drives per-rule scoping; `src` is
+/// the file contents. The interprocedural rules need the whole workspace
+/// and run through [`crate::scan_sources`] instead.
 pub fn scan_file(rel: &str, src: &str) -> FileScan {
     let lexed = lex(src);
     let markers = parse_markers(&lexed);
+    let raw = token_findings(rel, &lexed, &markers);
+    let findings = apply_markers(rel, raw, &markers);
+    FileScan {
+        findings,
+        markers: markers.len(),
+    }
+}
 
+/// Runs the five token-local passes over one lexed file; findings are
+/// unsuppressed (pair with [`apply_markers`]).
+pub(crate) fn token_findings(rel: &str, lexed: &Lexed, markers: &[Marker]) -> Vec<Finding> {
     let mut raw: Vec<Finding> = Vec::new();
-    nan_unsafe_sort(rel, &lexed, &mut raw);
-    stop_flag_coverage(rel, &lexed, &mut raw);
-    unsafe_confinement(rel, &lexed, &mut raw);
-    determinism(rel, &lexed, &mut raw);
-    allow_justification(rel, &lexed, &markers, &mut raw);
+    nan_unsafe_sort(rel, lexed, &mut raw);
+    stop_flag_coverage(rel, lexed, &mut raw);
+    unsafe_confinement(rel, lexed, &mut raw);
+    determinism(rel, lexed, &mut raw);
+    allow_justification(rel, lexed, markers, &mut raw);
+    raw
+}
 
-    // Apply suppressions: a well-formed marker on the finding's line or the
-    // line directly above silences that rule there.
+/// Applies suppressions (a well-formed marker on the finding's line or
+/// the line directly above silences that rule there), then surfaces any
+/// marker that suppressed nothing as stale. Returns the surviving
+/// findings sorted by (line, rule). Must see *all* of a file's findings
+/// at once — token and interprocedural — or a marker consumed by an
+/// interprocedural finding would read as stale.
+pub(crate) fn apply_markers(rel: &str, raw: Vec<Finding>, markers: &[Marker]) -> Vec<Finding> {
     let mut findings: Vec<Finding> = raw
         .into_iter()
         .filter(|f| {
@@ -115,7 +165,7 @@ pub fn scan_file(rel: &str, src: &str) -> FileScan {
                     && (m.line == f.line || m.line + 1 == f.line)
             });
             if suppressed {
-                for m in &markers {
+                for m in markers {
                     if m.rule == f.rule && (m.line == f.line || m.line + 1 == f.line) {
                         m.used.set(true);
                     }
@@ -127,7 +177,7 @@ pub fn scan_file(rel: &str, src: &str) -> FileScan {
 
     // A marker that suppressed nothing is stale — surface it so dead
     // suppressions cannot accumulate.
-    for m in &markers {
+    for m in markers {
         if m.rule_ok && m.reason_ok && !m.used.get() {
             findings.push(Finding {
                 rule: "allow-justification",
@@ -143,13 +193,10 @@ pub fn scan_file(rel: &str, src: &str) -> FileScan {
     }
 
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    FileScan {
-        findings,
-        markers: markers.len(),
-    }
+    findings
 }
 
-fn parse_markers(lexed: &Lexed) -> Vec<Marker> {
+pub(crate) fn parse_markers(lexed: &Lexed) -> Vec<Marker> {
     let mut out = Vec::new();
     for c in &lexed.comments {
         let t = c.text.trim();

@@ -1,0 +1,11 @@
+// Fixture: a fresh Vec per iteration inside a loop of a function the
+// hot-path manifest names.
+
+pub fn hot_kernel(n: usize) -> usize {
+    let mut total = 0;
+    for i in 0..n {
+        let scratch: Vec<usize> = Vec::new();
+        total += scratch.capacity() + i;
+    }
+    total
+}

@@ -1,0 +1,11 @@
+// Fixture: the same per-iteration Vec, suppressed with a justified marker.
+
+pub fn hot_kernel(n: usize) -> usize {
+    let mut total = 0;
+    for i in 0..n {
+        // audit:allow(hot-loop-allocation): fixture — scratch is empty, Vec::new never allocates
+        let scratch: Vec<usize> = Vec::new();
+        total += scratch.capacity() + i;
+    }
+    total
+}

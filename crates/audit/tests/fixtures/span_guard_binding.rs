@@ -1,0 +1,8 @@
+// Fixture: a span guard dropped on the spot — records a zero-length span.
+
+pub fn run() {
+    trace::span("lane");
+    work();
+}
+
+fn work() {}

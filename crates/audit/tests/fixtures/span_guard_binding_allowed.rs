@@ -1,0 +1,9 @@
+// Fixture: the same unbound span, suppressed with a justified marker.
+
+pub fn run() {
+    // audit:allow(span-guard-binding): fixture — deliberately marking an instant via span
+    trace::span("lane");
+    work();
+}
+
+fn work() {}

@@ -1,0 +1,25 @@
+// Fixture: the same reachable sweep, suppressed with a justified marker.
+
+// audit:allow(stop-flag-reachability): fixture — bounded sweep, the caller enforces the deadline
+pub fn deep_sweep(n: u64) -> u64 {
+    let mut acc = 0u64;
+    for _ in 0..n {
+        acc = acc.wrapping_add(0);
+        acc = acc.wrapping_add(1);
+        acc = acc.wrapping_add(2);
+        acc = acc.wrapping_add(3);
+        acc = acc.wrapping_add(4);
+        acc = acc.wrapping_add(5);
+        acc = acc.wrapping_add(6);
+        acc = acc.wrapping_add(7);
+        acc = acc.wrapping_add(8);
+        acc = acc.wrapping_add(9);
+        acc = acc.wrapping_add(10);
+        acc = acc.wrapping_add(11);
+        acc = acc.wrapping_add(12);
+        acc = acc.wrapping_add(13);
+        acc = acc.wrapping_add(14);
+        acc = acc.wrapping_add(15);
+    }
+    acc
+}

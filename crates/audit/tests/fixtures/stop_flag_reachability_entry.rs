@@ -1,0 +1,9 @@
+// Fixture: the cancellation entry point. Pairs with
+// stop_flag_reachability.rs to prove reachability crosses file
+// boundaries: the sweep only becomes a finding when this file is in
+// the same scan.
+
+pub fn plan_with_stop(stop: StopFlag) -> u64 {
+    let _ = stop;
+    deep_sweep(64)
+}

@@ -1,0 +1,3 @@
+// Fixture: a counter name that breaks the dotted `area.noun` convention.
+
+static FALLBACKS: eblow_trace::Counter = eblow_trace::Counter::new("SelectFallback");

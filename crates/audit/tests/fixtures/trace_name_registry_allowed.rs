@@ -1,0 +1,4 @@
+// Fixture: the same ill-named counter, suppressed with a justified marker.
+
+// audit:allow(trace-name-registry): fixture — legacy name kept for dashboard continuity
+static FALLBACKS: eblow_trace::Counter = eblow_trace::Counter::new("SelectFallback");

@@ -1,8 +1,11 @@
 //! Fixture-driven rule tests: every rule fires exactly once on its
 //! known-bad fixture and not at all on the suppressed/clean twin. The
-//! pretend paths passed to `scan_file` exercise each rule's scoping.
+//! pretend paths passed to `scan_file` exercise each rule's scoping; the
+//! interprocedural rules go through `scan_sources` with pretend
+//! workspaces of one or two files.
 
 use eblow_audit::rules::{scan_file, RULES};
+use eblow_audit::{scan_sources, AuditContext, Finding};
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -146,6 +149,124 @@ fn marker_count_is_reported() {
         &fixture("nan_unsafe_sort_allowed.rs"),
     );
     assert_eq!(scan.markers, 1);
+}
+
+/// Runs the full workspace pipeline over pretend `(path, contents)`
+/// sources — the interprocedural rules only exist at this level.
+fn ws_scan(files: &[(&str, &str)], ctx: &AuditContext) -> Vec<Finding> {
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|(rel, src)| (rel.to_string(), src.to_string()))
+        .collect();
+    scan_sources(&sources, ctx).findings
+}
+
+#[test]
+fn stop_flag_reachability_fires_across_files_and_suppresses() {
+    let entry = fixture("stop_flag_reachability_entry.rs");
+    let sweep = fixture("stop_flag_reachability.rs");
+    let ctx = AuditContext::default();
+
+    // Two-file workspace: the sweep lives in a different file from the
+    // entry point, and still fires — reachability crosses files.
+    let f = ws_scan(
+        &[
+            ("crates/core/src/oned/entry.rs", &entry),
+            ("crates/core/src/oned/sweep.rs", &sweep),
+        ],
+        &ctx,
+    );
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "stop-flag-reachability");
+    assert_eq!(f[0].file, "crates/core/src/oned/sweep.rs");
+
+    // Without the entry file the sweep is unreachable: clean.
+    let f = ws_scan(&[("crates/core/src/oned/sweep.rs", &sweep)], &ctx);
+    assert!(f.is_empty(), "{f:?}");
+
+    // Outside the planning crates the same chain is out of scope.
+    let f = ws_scan(
+        &[
+            ("crates/gen/src/entry.rs", &entry),
+            ("crates/gen/src/sweep.rs", &sweep),
+        ],
+        &ctx,
+    );
+    assert!(f.is_empty(), "{f:?}");
+
+    // Suppressed twin: marker on the fn consumes the finding, not stale.
+    let allowed = fixture("stop_flag_reachability_allowed.rs");
+    let f = ws_scan(
+        &[
+            ("crates/core/src/oned/entry.rs", &entry),
+            ("crates/core/src/oned/sweep.rs", &allowed),
+        ],
+        &ctx,
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn trace_name_registry_fires_once_and_suppresses() {
+    let ctx = AuditContext::default();
+    let bad = fixture("trace_name_registry.rs");
+    let f = ws_scan(&[("crates/engine/src/select.rs", &bad)], &ctx);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "trace-name-registry");
+    assert!(f[0].message.contains("area.noun"), "{}", f[0].message);
+
+    let allowed = fixture("trace_name_registry_allowed.rs");
+    let f = ws_scan(&[("crates/engine/src/select.rs", &allowed)], &ctx);
+    assert!(f.is_empty(), "{f:?}");
+
+    // The trace crate's own sources (unit-test scratch names) are exempt.
+    let f = ws_scan(&[("crates/trace/src/lib.rs", &bad)], &ctx);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn hot_loop_allocation_fires_once_and_suppresses() {
+    let ctx = AuditContext {
+        readme: None,
+        hotpaths: vec!["hot_kernel".to_string()],
+    };
+    let bad = fixture("hot_loop_allocation.rs");
+    let f = ws_scan(&[("crates/core/src/oned/kernel.rs", &bad)], &ctx);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "hot-loop-allocation");
+    assert!(f[0].message.contains("Vec::new"), "{}", f[0].message);
+
+    let allowed = fixture("hot_loop_allocation_allowed.rs");
+    let f = ws_scan(&[("crates/core/src/oned/kernel.rs", &allowed)], &ctx);
+    assert!(f.is_empty(), "{f:?}");
+
+    // The same function outside the manifest allocates freely.
+    let f = ws_scan(
+        &[("crates/core/src/oned/kernel.rs", &bad)],
+        &AuditContext::default(),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn span_guard_binding_fires_once_and_suppresses() {
+    let ctx = AuditContext::default();
+    let bad = fixture("span_guard_binding.rs");
+    let f = ws_scan(&[("crates/engine/src/race.rs", &bad)], &ctx);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "span-guard-binding");
+
+    let allowed = fixture("span_guard_binding_allowed.rs");
+    let f = ws_scan(&[("crates/engine/src/race.rs", &allowed)], &ctx);
+    assert!(f.is_empty(), "{f:?}");
+
+    // Binding the guard is the real fix.
+    let bound = bad.replace(
+        "trace::span(\"lane\");",
+        "let _span = trace::span(\"lane\");",
+    );
+    let f = ws_scan(&[("crates/engine/src/race.rs", &bound)], &ctx);
+    assert!(f.is_empty(), "{f:?}");
 }
 
 #[test]

@@ -55,6 +55,7 @@ fn sort_row_by_x(r: &mut [(f64, usize)]) {
 /// # Errors
 ///
 /// Returns [`ModelError::NotRowStructured`] for 2D instances.
+// audit:allow(stop-flag-reachability): bounded O(n²) model build; the branch-and-bound solve enforces time_limit internally
 pub fn solve_ilp_1d(instance: &Instance, time_limit: Duration) -> Result<IlpOutcome, ModelError> {
     let started = std::time::Instant::now();
     let m = instance.num_rows()?;
@@ -238,6 +239,7 @@ pub fn solve_ilp_1d(instance: &Instance, time_limit: Duration) -> Result<IlpOutc
 }
 
 /// Builds and solves formulation (7) for a 2D instance.
+// audit:allow(stop-flag-reachability): bounded O(n²) model build on Table-5-sized instances; the solve enforces time_limit internally
 pub fn solve_ilp_2d(instance: &Instance, time_limit: Duration) -> IlpOutcome {
     let started = std::time::Instant::now();
     let n = instance.num_chars();

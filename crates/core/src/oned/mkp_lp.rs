@@ -248,6 +248,7 @@ pub fn solve_mkp_lp(items: &[MkpItem], base: &[RowBase], stencil_w: u64) -> MkpL
 /// [`solve_mkp_lp`] on the same inputs — the hint changes only the cost
 /// (property-tested in `tests/proptest_core.rs`). The cold solver *is*
 /// this function with an empty hint, so the two cannot drift apart.
+// audit:allow(stop-flag-reachability): fixed four-pass fixed point, O(items) per pass; the rounding loop around the oracle polls the flag
 pub fn solve_mkp_lp_warm(
     items: &[MkpItem],
     base: &[RowBase],

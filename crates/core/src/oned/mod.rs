@@ -22,7 +22,9 @@ pub use convergence::{fast_ilp_convergence, ConvergenceConfig, ConvergenceStats}
 pub use mkp_lp::{solve_mkp_lp, solve_mkp_lp_warm, LpHint, MkpItem, MkpLpSolution, RowBase};
 pub use oracle::{CombinatorialOracle, LpOracle, OracleError, ScaledOracle, SimplexOracle};
 pub use post::{post_insert, post_swap, PostConfig};
-pub use refine::{brute_force_min_width, refine_row, refine_width, WidthScratch};
+pub use refine::{
+    brute_force_min_width, refine_row, refine_row_with_stop, refine_width, WidthScratch,
+};
 pub use rounding::{successive_rounding, RoundingConfig, RoundingOutcome, RoundingTrace, RowState};
 
 use crate::cancel::StopFlag;
@@ -210,13 +212,16 @@ impl Eblow1d {
             // width validate), but under a raised stop flag it runs with a
             // minimal DP beam: same feasibility guarantee — the width is
             // checked and repaired below either way — at a fraction of the
-            // cost, so a deadline doesn't stall on full rows.
+            // cost, so a deadline doesn't stall on full rows. The flag is
+            // also threaded *into* the DP, which polls per insertion: a
+            // cancellation arriving mid-row collapses the beam right there
+            // instead of waiting for the next row boundary.
             let beam = if stop.is_set() {
                 2
             } else {
                 self.config.refine_threshold
             };
-            let (mut order, mut width) = refine_row(instance, &rs.members, beam);
+            let (mut order, mut width) = refine_row_with_stop(instance, &rs.members, beam, stop);
             while width > w && !order.is_empty() {
                 // Drop the member with the lowest dynamic profit.
                 let (drop_pos, _) = order
@@ -230,7 +235,7 @@ impl Eblow1d {
                     .expect("non-empty order");
                 let dropped = order.remove(drop_pos);
                 region_times.deselect(instance, dropped.index());
-                let (new_order, new_width) = refine_row(instance, &order, beam);
+                let (new_order, new_width) = refine_row_with_stop(instance, &order, beam, stop);
                 order = new_order;
                 width = new_width;
             }

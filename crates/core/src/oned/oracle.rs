@@ -377,6 +377,7 @@ impl<O: LpOracle> LpOracle for ScaledOracle<O> {
     // cutoff can still trip when the *row* count alone is huge; that error
     // propagates.)
 
+    // audit:allow(stop-flag-reachability): one coarsen+expand pass, O(items); the convergence loop around the oracle polls the flag
     fn solve_lp(
         &self,
         items: &[MkpItem],

@@ -11,6 +11,7 @@
 //! dominated states (wider and with smaller end blanks) are pruned, and the
 //! frontier is beam-limited to `threshold` states (paper uses 20).
 
+use crate::cancel::StopFlag;
 use eblow_model::{overlap, CharId, Character, Instance};
 
 /// One partial-order state of the refinement DP.
@@ -31,6 +32,21 @@ struct OrderState {
 /// E-BLOW). Larger thresholds explore more of the `2^{n−1}` insertion
 /// orders.
 pub fn refine_row(instance: &Instance, set: &[CharId], threshold: usize) -> (Vec<CharId>, u64) {
+    refine_row_with_stop(instance, set, threshold, StopFlag::NEVER)
+}
+
+/// [`refine_row`] with cooperative cancellation: a raised `stop` collapses
+/// the DP beam to a single state for the remaining insertions. Every
+/// character still gets placed — the result is always a complete order —
+/// but the walk degrades to the greedy `threshold == 1` chain from the
+/// poll onward, so one huge row cannot stall a deadline mid-call (the
+/// caller's per-row poll in `Strategy::plan` cannot see inside this DP).
+pub fn refine_row_with_stop(
+    instance: &Instance,
+    set: &[CharId],
+    threshold: usize,
+    stop: StopFlag,
+) -> (Vec<CharId>, u64) {
     let chars: Vec<&Character> = set.iter().map(|id| instance.char(id.index())).collect();
     if set.is_empty() {
         return (Vec::new(), 0);
@@ -53,6 +69,9 @@ pub fn refine_row(instance: &Instance, set: &[CharId], threshold: usize) -> (Vec
     }];
 
     for &k in &idx[1..] {
+        // Polled every insertion: once raised, the beam narrows to 1 and
+        // the rest of the walk is exactly the greedy threshold-1 chain.
+        let beam = if stop.is_set() { 1 } else { threshold };
         let ck = chars[k];
         let (wk, blk, brk) = (ck.width(), ck.blanks().left, ck.blanks().right);
         let mut next: Vec<OrderState> = Vec::with_capacity(frontier.len() * 2);
@@ -78,7 +97,7 @@ pub fn refine_row(instance: &Instance, set: &[CharId], threshold: usize) -> (Vec
                 order: right_order,
             });
         }
-        frontier = prune(next, threshold);
+        frontier = prune(next, beam);
     }
 
     let best = frontier
@@ -329,6 +348,26 @@ mod tests {
         let mut sorted: Vec<usize> = order.iter().map(|c| c.index()).collect();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn raised_stop_flag_collapses_the_dp_beam() {
+        use std::sync::atomic::AtomicBool;
+        let specs = vec![(40, 2, 9), (35, 8, 3), (42, 5, 5), (30, 1, 7), (33, 6, 2)];
+        let inst = make_instance(&specs);
+        // A flag raised before the call: from the first poll on, the walk
+        // is exactly the greedy beam-1 chain — cancellation bounds the
+        // work without breaking the complete-order invariant.
+        let raised = AtomicBool::new(true);
+        let stopped = refine_row_with_stop(&inst, &ids(5), 1000, StopFlag::new(&raised));
+        assert_eq!(stopped, refine_row(&inst, &ids(5), 1));
+        assert_eq!(stopped.0.len(), 5);
+        // An unraised flag changes nothing.
+        let lowered = AtomicBool::new(false);
+        assert_eq!(
+            refine_row_with_stop(&inst, &ids(5), 1000, StopFlag::new(&lowered)),
+            refine_row(&inst, &ids(5), 1000)
+        );
     }
 
     #[test]

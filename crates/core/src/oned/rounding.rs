@@ -321,6 +321,7 @@ pub fn successive_rounding<O: LpOracle + ?Sized>(
             "round.iter",
             unsolved.len() as i64,
             committed_count as i64,
+            // audit:allow(hot-loop-allocation): lazy trace detail — the closure runs only when a trace session is active
             || format!("objective={:.3}", lp.objective),
         );
 

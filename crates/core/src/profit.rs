@@ -81,6 +81,7 @@ impl RegionTimes {
     /// Accounts for character `i` being removed from the stencil. Touches
     /// only the regions with `t_ic > 0`; the maximum can only grow, so no
     /// re-scan is ever needed.
+    // audit:allow(stop-flag-reachability): O(nnz) sparse-row update — this IS the hot path; a poll here would cost more than it saves
     pub fn deselect(&mut self, instance: &Instance, i: usize) {
         for e in instance.sparse_row(i) {
             if e.reduction == 0 {

@@ -92,6 +92,7 @@ impl<'a> Objective<'a> {
     /// Energy of a set of node positions: T_total of the in-outline nodes
     /// plus a gentle overflow pressure term (guides SA toward arrangements
     /// that pull more nodes inside).
+    // audit:allow(stop-flag-reachability): one energy evaluation, O(members·regions); the SA move loop around it polls the flag
     pub fn energy(&self, positions: &[Option<(i64, i64)>]) -> f64 {
         let p = self.instance.num_regions();
         let mut times: Vec<i64> = self

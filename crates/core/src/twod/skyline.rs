@@ -27,6 +27,7 @@ pub struct ShelfPacking {
 /// Packs `nodes` in the given `order` onto a `stencil_w × stencil_h`
 /// outline. Nodes that do not fit anywhere are skipped (unplaced), matching
 /// the fixed-outline "outside ⇒ unselected" rule of \[24\].
+// audit:allow(stop-flag-reachability): one pass over the node order; callers poll between packing attempts
 pub fn shelf_pack(
     nodes: &[PackNode],
     order: &[usize],

@@ -724,6 +724,7 @@ mod json {
         }
     }
 
+    // audit:allow(stop-flag-reachability): input-length-bounded JSON recursion; config parsing happens before any planning loop starts
     fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
         skip_ws(bytes, pos);
         match bytes.get(*pos) {

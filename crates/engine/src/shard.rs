@@ -149,6 +149,7 @@ fn gates_1d(instance: &Instance, config: &ShardConfig) -> bool {
         && instance.num_rows().is_ok_and(|r| r >= 2)
 }
 
+// audit:allow(stop-flag-reachability): one pass over candidates and rows, runs once at plan start before the planning loops
 fn split_1d(
     instance: &Instance,
     config: &ShardConfig,
