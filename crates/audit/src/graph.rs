@@ -24,7 +24,7 @@ use std::collections::{BTreeMap, BTreeSet};
 pub const GRAPH_SCHEMA: &str = "eblow-graph/1";
 pub const GLOSSARY_SCHEMA: &str = "eblow-glossary/1";
 
-/// Flattened function id: index into [`WorkspaceModel::fns`].
+/// Flattened function id: index into the workspace model's function list.
 pub type FnId = usize;
 
 /// All file models plus a flattened function index.

@@ -65,7 +65,7 @@ pub struct WorkspaceScan {
     pub markers: usize,
 }
 
-/// Scans every `.rs` file under `root`, except [`SKIP_DIRS`] subtrees.
+/// Scans every `.rs` file under `root`, except the skip-listed subtrees (`target/`, `.git/`, …).
 /// Paths in findings are `root`-relative with `/` separators regardless
 /// of platform, so baselines are portable. The full-workspace scan runs
 /// both the token-local and the interprocedural rules, with the README

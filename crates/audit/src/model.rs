@@ -77,7 +77,7 @@ pub struct TraceSite {
     pub kind: TraceKind,
     pub line: u32,
     /// For spans: was the guard bound to a named `let`? (`let _ = ..` and
-    /// bare statements drop the [`SpanGuard`] immediately — a zero-length
+    /// bare statements drop the `SpanGuard` immediately — a zero-length
     /// span.) Always `true` for non-span kinds.
     pub bound: bool,
 }

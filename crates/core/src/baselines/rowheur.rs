@@ -12,11 +12,24 @@
 //! selection proceeds.
 
 use crate::cancel::StopFlag;
-use crate::oned::{finish_plan, refine_width, WidthScratch};
+use crate::oned::{finish_plan, ProbedRow, WidthScratch};
 use crate::profit::static_profits;
 use crate::Plan1d;
 use eblow_model::{CharId, Instance, ModelError, Placement1d, Row};
+use std::cell::RefCell;
 use std::time::Instant;
+
+thread_local! {
+    /// Per-worker width-DP buffers for the row-fill probes: probes run on
+    /// pool workers when cores are free, and the DP scratch cannot be
+    /// shared across them (reusing a thread's buffers keeps the probes
+    /// allocation-free after warm-up either way).
+    static PROBE_SCRATCH: RefCell<WidthScratch> = RefCell::new(WidthScratch::default());
+}
+
+/// How many of the best-ranked rows each character probes with the exact
+/// ordering DP before being declared a leftover.
+const PROBE_ROWS: usize = 12;
 
 /// Plans a 1D stencil with the deterministic row heuristic.
 ///
@@ -64,11 +77,14 @@ pub fn row_heuristic_1d_with_stop(
 
     // Fill rows under the exact Lemma 1 capacity; best-fit row choice.
     let mut sets: Vec<Vec<CharId>> = vec![Vec::new(); num_rows];
+    // Each row's members as a probe-ready key list (insertion order plus
+    // suffix floors), maintained incrementally so probes skip the per-probe
+    // sort and can reject mid-walk.
+    let mut row_keys: Vec<ProbedRow> = vec![ProbedRow::default(); num_rows];
     let mut eff: Vec<u64> = vec![0; num_rows];
     let mut blank: Vec<u64> = vec![0; num_rows];
     let mut leftovers: Vec<usize> = Vec::new();
     let mut ranked: Vec<(u64, usize)> = Vec::with_capacity(num_rows);
-    let mut scratch = WidthScratch::default();
     for &i in &order {
         if stop.is_set() {
             // Deadline: whatever is not yet placed stays off the stencil.
@@ -92,18 +108,24 @@ pub fn row_heuristic_1d_with_stop(
             })
         }));
         ranked.sort_unstable();
-        let mut placed_row = None;
-        for &(_, r) in ranked.iter().take(12) {
-            if refine_width(instance, &sets[r], Some(id), 1, &mut scratch) <= w
-                || refine_width(instance, &sets[r], Some(id), 6, &mut scratch) <= w
-            {
-                placed_row = Some(r);
-                break;
-            }
-        }
+        // Probe the best-ranked rows with the exact ordering DP, in
+        // parallel when the pool has spare cores. Probes are pure (each
+        // worker uses its own thread-local scratch), and `find_first_index`
+        // returns the *lowest* matching probe, so the chosen row is
+        // identical to the sequential scan at any thread count.
+        let placed_row = crate::par::find_first_index(ranked.len().min(PROBE_ROWS), |p| {
+            let r = ranked[p].1;
+            PROBE_SCRATCH.with(|sc| {
+                let scratch = &mut *sc.borrow_mut();
+                row_keys[r].admits_width(instance, (s, id), 1, w, scratch)
+                    || row_keys[r].admits_width(instance, (s, id), 6, w, scratch)
+            })
+        })
+        .map(|p| ranked[p].1);
         match placed_row {
             Some(r) => {
                 sets[r].push(id);
+                row_keys[r].insert(instance, id);
                 eff[r] += e;
                 blank[r] = blank[r].max(s);
             }

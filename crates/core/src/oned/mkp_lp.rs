@@ -25,7 +25,7 @@ use crate::profit::RegionTimes;
 use eblow_model::Instance;
 
 /// One unsolved item of the knapsack relaxation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct MkpItem {
     /// Index of the character in the instance (for reporting).
     pub char_index: usize,

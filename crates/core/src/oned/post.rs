@@ -77,50 +77,73 @@ pub fn post_swap(
         None => return 0,
     };
     let mut swaps = 0usize;
-    for _pass in 0..config.swap_passes {
-        // Unselected, most valuable first (only characters that fit a row).
-        let mut outsiders: Vec<usize> = selection
-            .iter_unselected()
-            .filter(|&i| instance.char(i).height() <= row_height)
-            .collect();
-        outsiders.sort_by(|&a, &b| {
-            region_times
-                .profit(instance, b)
-                .total_cmp(&region_times.profit(instance, a))
-                .then(a.cmp(&b))
-        });
-        outsiders.truncate(config.swap_candidates);
-
-        // Scan placed characters, least valuable first. Positions and
-        // profits only change when a swap commits, so the sorted scan list
-        // is built once per pass and rebuilt after each commit instead of
-        // once per outsider (the commit rate is tiny compared to the
-        // candidate count).
-        let build_placed = |placement: &Placement1d, region_times: &RegionTimes| {
-            let mut placed: Vec<(usize, usize)> = Vec::new(); // (row, pos)
+    // Buffers reused across passes and rebuilds (this loop is in the
+    // hot-path manifest): the candidate ranking, the sorted scan list of
+    // placed positions, and the scratch tracker probed per candidate.
+    let mut ranked: Vec<(f64, usize)> = Vec::new();
+    let mut outsiders: Vec<usize> = Vec::new();
+    let mut placed: Vec<(f64, usize, usize)> = Vec::new();
+    let mut with_u = region_times.clone();
+    // Scan placed characters, least valuable first. Positions and
+    // profits only change when a swap commits, so the sorted scan list
+    // is built once per pass and rebuilt after each commit instead of
+    // once per outsider (the commit rate is tiny compared to the
+    // candidate count). Profits are cached in the entries so the stable
+    // sort compares floats instead of recomputing two sparse profits per
+    // comparison — same ordering, stability and all.
+    let build_placed =
+        |placed: &mut Vec<(f64, usize, usize)>, placement: &Placement1d, rt: &RegionTimes| {
+            placed.clear();
             for (r, row) in placement.rows().iter().enumerate() {
                 for pos in 0..row.len() {
-                    placed.push((r, pos));
+                    let p = rt.profit(instance, row.order()[pos].index());
+                    placed.push((p, r, pos));
                 }
             }
-            placed.sort_by(|&(ra, pa), &(rb, pb)| {
-                let va = region_times.profit(instance, placement.rows()[ra].order()[pa].index());
-                let vb = region_times.profit(instance, placement.rows()[rb].order()[pb].index());
-                va.total_cmp(&vb)
-            });
-            placed
+            placed.sort_by(|a, b| a.0.total_cmp(&b.0));
         };
-        let mut placed = build_placed(placement, region_times);
+    for _pass in 0..config.swap_passes {
+        // Unselected, most valuable first (only characters that fit a row).
+        ranked.clear();
+        ranked.extend(
+            selection
+                .iter_unselected()
+                .filter(|&i| instance.char(i).height() <= row_height)
+                .map(|i| (region_times.profit(instance, i), i)),
+        );
+        // Profit descending, ties by index — profits precomputed once so
+        // the comparator is O(1) instead of two sparse-row walks.
+        ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        ranked.truncate(config.swap_candidates);
+        outsiders.clear();
+        outsiders.extend(ranked.iter().map(|&(_, i)| i));
+
+        build_placed(&mut placed, placement, region_times);
 
         let mut any = false;
-        for u in outsiders {
+        for &u in &outsiders {
             if stop.is_set() {
                 return swaps;
             }
+            // Screen: removing `v` can only raise times, so any swap's
+            // delta is at least the pure-insert delta of `u`. Unless
+            // inserting `u` alone lowers the bottleneck, no placed `v`
+            // can yield an improving swap — skip the whole scan.
+            if region_times.swap_delta(instance, None, Some(u)) >= 0 {
+                continue;
+            }
+            // Insert `u` once into a scratch tracker: every probe against a
+            // placed `v` then reduces to `removed_total` — O(nnz_v), exact
+            // (a removal only raises times), instead of a dense sweep per
+            // (u, v) pair. Same integer system time, so identical swap
+            // decisions to probing with `swap_delta`.
+            with_u.clone_from(region_times);
+            with_u.select(instance, u);
+            let base = region_times.total() as i64;
             let mut committed = false;
-            for &(r, pos) in &placed {
+            for &(_, r, pos) in &placed {
                 let v = placement.rows()[r].order()[pos];
-                let delta = region_times.swap_delta(instance, Some(v.index()), Some(u));
+                let delta = with_u.removed_total(instance, v.index()) as i64 - base;
                 if delta >= 0 {
                     continue;
                 }
@@ -140,7 +163,7 @@ pub fn post_swap(
                 break;
             }
             if committed {
-                placed = build_placed(placement, region_times);
+                build_placed(&mut placed, placement, region_times);
             }
         }
         if !any {

@@ -13,6 +13,7 @@
 
 use crate::cancel::StopFlag;
 use eblow_model::{overlap, CharId, Character, Instance};
+use std::cmp::Reverse;
 
 /// One partial-order state of the refinement DP.
 #[derive(Debug, Clone)]
@@ -132,6 +133,125 @@ pub struct WidthScratch {
 /// One width-only DP state: `(width, left_blank, right_blank)`.
 type WidthState = (u64, u64, u64);
 
+/// The DP insertion key of one character: `(symmetric blank, id)`, ordered
+/// by decreasing blank, ties by id — the Lemma 1 insertion sequence.
+pub fn width_key(instance: &Instance, id: CharId) -> (u64, CharId) {
+    (instance.char(id.index()).symmetric_blank(), id)
+}
+
+/// The total insertion order of the width DP: decreasing blank, then
+/// increasing id. Ids are unique, so this is a strict total order and any
+/// sorted arrangement of a key set is *the* arrangement.
+fn key_order(a: &(u64, CharId), b: &(u64, CharId)) -> std::cmp::Ordering {
+    b.0.cmp(&a.0).then(a.1.cmp(&b.1))
+}
+
+/// The minimum width any end insertion of `id` can add to a partial row:
+/// `w − max(l, r)` (the junction shares at most one of the two blanks).
+/// Summed over a suffix of the insertion sequence this lower-bounds the
+/// remaining growth of *every* DP state — the early-reject certificate of
+/// [`ProbedRow::admits_width`].
+fn insertion_floor(instance: &Instance, id: CharId) -> u64 {
+    let c = instance.char(id.index());
+    c.width()
+        .saturating_sub(c.blanks().left.max(c.blanks().right))
+}
+
+/// A row's member set prepared for repeated admission probes: the width-DP
+/// keys in insertion order (so a probe merges its candidate with one binary
+/// search instead of the O(n log n) sort that used to dominate
+/// [`refine_width`]), plus suffix insertion floors that let a probe's DP
+/// walk reject early — near-capacity rows, the common case late in
+/// planning, usually prove overflow within a few insertions instead of
+/// walking all members.
+///
+/// Maintained by the rounding rows and the row heuristic's fills via
+/// [`ProbedRow::insert`]; probes go through [`ProbedRow::admits_width`],
+/// which is decision-identical to `refine_width(members ∪ {id}) <= cap`.
+#[derive(Debug, Clone, Default)]
+pub struct ProbedRow {
+    /// `(symmetric blank, id)` keys sorted by [`key_order`].
+    keys: Vec<(u64, CharId)>,
+    /// `lb[i] = Σ_{k ≥ i} insertion_floor(keys[k])`, with `lb[len] = 0`.
+    lb: Vec<u64>,
+}
+
+impl ProbedRow {
+    /// Inserts the member `id` at its key's sorted position and rebuilds
+    /// the suffix floors (O(n) — once per commit, amortized over the many
+    /// probes in between).
+    pub fn insert(&mut self, instance: &Instance, id: CharId) {
+        let key = width_key(instance, id);
+        let pos = self.keys.partition_point(|k| key_order(k, &key).is_lt());
+        self.keys.insert(pos, key);
+        self.lb.resize(self.keys.len() + 1, 0);
+        self.lb[self.keys.len()] = 0;
+        for i in (0..self.keys.len()).rev() {
+            self.lb[i] = self.lb[i + 1] + insertion_floor(instance, self.keys[i].1);
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when the row holds no members.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// `lb[i]` with the empty-row case (no floors yet) reading as zero.
+    fn floor_from(&self, i: usize) -> u64 {
+        self.lb.get(i).copied().unwrap_or(0)
+    }
+
+    /// Whether the members plus the candidate `extra` pack within `cap` —
+    /// decision-identical to
+    /// `refine_width(instance, &members_plus_extra, threshold, ..) <= cap`,
+    /// but the candidate is merged at its sorted position on the fly (one
+    /// binary search, no per-probe sort), and the DP walk aborts as soon as
+    /// the frontier's minimum width plus the remaining insertion floors
+    /// exceeds `cap`: every continuation of every surviving state can only
+    /// end wider, so the reject is certain without finishing the walk.
+    pub fn admits_width(
+        &self,
+        instance: &Instance,
+        extra: (u64, CharId),
+        threshold: usize,
+        cap: u64,
+        scratch: &mut WidthScratch,
+    ) -> bool {
+        debug_assert!(self
+            .keys
+            .windows(2)
+            .all(|w| key_order(&w[0], &w[1]).is_lt()));
+        let pos = self.keys.partition_point(|k| key_order(k, &extra).is_lt());
+        let x_floor = insertion_floor(instance, extra.1);
+        // Each item pairs with the floor sum of everything merged *after*
+        // it: head items still owe the candidate's floor, the candidate
+        // owes the tail, tail items owe their own suffix.
+        let head = self.keys[..pos]
+            .iter()
+            .enumerate()
+            .map(|(t, k)| (k.1, self.floor_from(t + 1) + x_floor));
+        let mid = std::iter::once((extra.1, self.floor_from(pos)));
+        let tail = self.keys[pos..]
+            .iter()
+            .enumerate()
+            .map(|(j, k)| (k.1, self.floor_from(pos + j + 1)));
+        let WidthScratch { frontier, next, .. } = scratch;
+        width_dp(
+            instance,
+            head.chain(mid).chain(tail),
+            threshold,
+            cap,
+            frontier,
+            next,
+        ) <= cap
+    }
+}
+
 /// The width half of [`refine_row`], without materializing orders: runs the
 /// *same* end-insertion DP over `members ∪ extra` with the same
 /// decreasing-blank insertion sequence, the same Pareto pruning, and the
@@ -150,46 +270,110 @@ pub fn refine_width(
     threshold: usize,
     scratch: &mut WidthScratch,
 ) -> u64 {
-    scratch.keys.clear();
-    scratch.keys.extend(
+    let WidthScratch {
+        keys,
+        frontier,
+        next,
+    } = scratch;
+    keys.clear();
+    keys.extend(
         members
             .iter()
             .chain(extra.as_ref())
-            .map(|&id| (instance.char(id.index()).symmetric_blank(), id)),
+            .map(|&id| width_key(instance, id)),
     );
-    if scratch.keys.is_empty() {
-        return 0;
-    }
     // Decreasing symmetric blank, ties by id — the exact insertion sequence
     // refine_row derives (its tie-break compares the CharIds themselves,
     // which are unique, so the sequence depends only on the member set).
-    scratch
-        .keys
-        .sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    keys.sort_unstable_by(key_order);
+    width_dp(
+        instance,
+        keys.iter().map(|k| (k.1, 0)),
+        threshold,
+        u64::MAX,
+        frontier,
+        next,
+    )
+}
 
-    let first = instance.char(scratch.keys[0].1.index());
-    scratch.frontier.clear();
-    scratch
-        .frontier
-        .push((first.width(), first.blanks().left, first.blanks().right));
-
-    for ki in 1..scratch.keys.len() {
-        let ck = instance.char(scratch.keys[ki].1.index());
-        let (wk, blk, brk) = (ck.width(), ck.blanks().left, ck.blanks().right);
-        scratch.next.clear();
-        for &(width, left_blank, right_blank) in &scratch.frontier {
-            scratch
-                .next
-                .push((width + wk - brk.min(left_blank), blk, right_blank));
-            scratch
-                .next
-                .push((width + wk - blk.min(right_blank), left_blank, brk));
-        }
-        prune_widths(&mut scratch.next, threshold);
-        std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+/// The end-insertion width DP over `(id, remaining_floor)` pairs, which
+/// must arrive in the decreasing-blank insertion order. Each item's
+/// `remaining_floor` lower-bounds what the items after it will still add
+/// to *any* state (pass 0 when unknown — the check never fires). After
+/// every insertion the walk compares the frontier's minimum width plus
+/// that floor against `cap` and returns `u64::MAX` once the sum exceeds
+/// it — a certificate that the true final width is `> cap`, never an
+/// approximation, so capped and uncapped runs decide `<= cap` identically.
+// audit:allow(stop-flag-reachability): bounded O(row members) walk with early reject; admission decisions must not depend on when a cancellation lands
+fn width_dp(
+    instance: &Instance,
+    mut items: impl Iterator<Item = (CharId, u64)>,
+    threshold: usize,
+    cap: u64,
+    frontier: &mut Vec<WidthState>,
+    next: &mut Vec<WidthState>,
+) -> u64 {
+    let Some((first_id, first_rem)) = items.next() else {
+        return 0;
+    };
+    let first = instance.char(first_id.index());
+    let mut st = (first.width(), first.blanks().left, first.blanks().right);
+    if st.0 + first_rem > cap {
+        return u64::MAX;
     }
-    scratch
-        .frontier
+
+    if threshold <= 1 {
+        // Beam-1 chain, specialized: with a frontier of one, pruning keeps
+        // exactly the `(width ↑, left_blank ↓, right_blank ↓)`-smallest of
+        // the two inserts (a full key tie means identical triples, so the
+        // unstable sort cannot matter). The whole walk collapses to a
+        // branch-light fold — no state vectors, no dominance scan. This is
+        // the screening path `RowState::admits` and the row heuristic run
+        // on every candidate, so it is the hottest shape.
+        for (id, rem) in items {
+            let ck = instance.char(id.index());
+            let (wk, blk, brk) = (ck.width(), ck.blanks().left, ck.blanks().right);
+            let left = (st.0 + wk - brk.min(st.1), blk, st.2);
+            let right = (st.0 + wk - blk.min(st.2), st.1, brk);
+            st = if (left.0, Reverse(left.1), Reverse(left.2))
+                <= (right.0, Reverse(right.1), Reverse(right.2))
+            {
+                left
+            } else {
+                right
+            };
+            if st.0 + rem > cap {
+                return u64::MAX;
+            }
+        }
+        return st.0;
+    }
+
+    frontier.clear();
+    frontier.push(st);
+
+    for (id, rem) in items {
+        let ck = instance.char(id.index());
+        let (wk, blk, brk) = (ck.width(), ck.blanks().left, ck.blanks().right);
+        // Expansion as an indexed fill over a pre-sized buffer: every
+        // frontier state expands to exactly two successors at fixed slots,
+        // a regular access pattern the compiler can keep in lanes (the
+        // push-based loop re-checked capacity per state).
+        next.clear();
+        next.resize(2 * frontier.len(), (0, 0, 0));
+        for (i, &(width, left_blank, right_blank)) in frontier.iter().enumerate() {
+            next[2 * i] = (width + wk - brk.min(left_blank), blk, right_blank);
+            next[2 * i + 1] = (width + wk - blk.min(right_blank), left_blank, brk);
+        }
+        prune_widths(next, threshold);
+        std::mem::swap(frontier, next);
+        // `prune_widths` sorts by width ascending, so the minimum is at the
+        // front; every continuation adds at least `rem` to every state.
+        if frontier[0].0 + rem > cap {
+            return u64::MAX;
+        }
+    }
+    frontier
         .iter()
         .map(|&(w, _, _)| w)
         .min()
@@ -418,6 +602,45 @@ mod tests {
             chain >= dp,
             "beam-1 chain {chain} must not beat the DP {dp}"
         );
+    }
+
+    #[test]
+    fn admits_width_is_decision_identical_to_refine_width() {
+        // Deliberately asymmetric shapes so the insertion floors are loose
+        // for some characters and tight for others, and caps spanning
+        // always-fits through never-fits so both the early-reject and the
+        // run-to-completion paths are exercised.
+        let specs = vec![
+            (40, 2, 9),
+            (35, 8, 3),
+            (42, 5, 5),
+            (30, 1, 7),
+            (33, 6, 2),
+            (44, 9, 9),
+            (28, 4, 1),
+            (31, 0, 6),
+        ];
+        let inst = make_instance(&specs);
+        let mut scratch = WidthScratch::default();
+        for upto in 1..=specs.len() {
+            let mut row = ProbedRow::default();
+            for id in ids(upto - 1) {
+                row.insert(&inst, id);
+            }
+            let extra = CharId::from(upto - 1);
+            let key = width_key(&inst, extra);
+            for threshold in [1usize, 6, 8] {
+                let truth =
+                    refine_width(&inst, &ids(upto - 1), Some(extra), threshold, &mut scratch);
+                for cap in [0, truth.saturating_sub(1), truth, truth + 1, truth + 100] {
+                    assert_eq!(
+                        row.admits_width(&inst, key, threshold, cap, &mut scratch),
+                        truth <= cap,
+                        "set {upto}, threshold {threshold}, cap {cap}, truth {truth}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use super::mkp_lp::{LpHint, MkpItem, MkpLpSolution, RowBase};
 use super::oracle::LpOracle;
-use super::refine::{refine_width, WidthScratch};
+use super::refine::{ProbedRow, WidthScratch};
 use crate::cancel::StopFlag;
 use crate::profit::RegionTimes;
 use eblow_model::{CharId, Instance};
@@ -47,6 +47,12 @@ static ADMITS_ESTIMATE_REJECT: trace::Counter = trace::Counter::new("admits.esti
 static ADMITS_ESTIMATE_EXACT: trace::Counter = trace::Counter::new("admits.estimate_exact");
 static ADMITS_BEAM: trace::Counter = trace::Counter::new("admits.beam");
 static ADMITS_DP: trace::Counter = trace::Counter::new("admits.dp");
+
+/// Scoring one candidate is a sparse profit sum (tens of nanoseconds), so
+/// parallel scatter only pays off in sizeable chunks; below 2× this many
+/// candidates the scatter stays inline (span `round.scatter` brackets both
+/// cases).
+const SCORE_MIN_CHUNK: usize = 256;
 
 /// Observable trace of the rounding loop, powering Figs. 5 and 6.
 #[derive(Debug, Clone, Default)]
@@ -76,6 +82,11 @@ pub struct RowState {
     /// While 0, the S-Blank estimate is *exact* (Lemma 1), so admission
     /// needs no DP at all.
     asym_members: usize,
+    /// Members as a probe-ready key list (insertion order plus suffix
+    /// floors, maintained by [`RowState::commit`]) so each admission probe
+    /// merges the candidate with one binary search and can reject without
+    /// finishing the DP walk.
+    probed: ProbedRow,
     /// Reusable width-DP buffers for [`RowState::admits`].
     scratch: WidthScratch,
 }
@@ -100,6 +111,7 @@ impl RowState {
     pub fn commit(&mut self, instance: &Instance, id: CharId) {
         let c = instance.char(id.index());
         self.members.push(id);
+        self.probed.insert(instance, id);
         self.eff_used += c.effective_width();
         self.max_blank = self.max_blank.max(c.symmetric_blank());
         if c.blanks().left != c.blanks().right {
@@ -146,12 +158,17 @@ impl RowState {
             ADMITS_ESTIMATE_EXACT.incr();
             return estimate <= stencil_w;
         }
-        if refine_width(instance, &self.members, Some(id), 1, &mut self.scratch) <= stencil_w {
+        let key = (blank, id);
+        if self
+            .probed
+            .admits_width(instance, key, 1, stencil_w, &mut self.scratch)
+        {
             ADMITS_BEAM.incr();
             return true;
         }
         ADMITS_DP.incr();
-        refine_width(instance, &self.members, Some(id), 8, &mut self.scratch) <= stencil_w
+        self.probed
+            .admits_width(instance, key, 8, stencil_w, &mut self.scratch)
     }
 }
 
@@ -239,13 +256,21 @@ pub fn successive_rounding<O: LpOracle + ?Sized>(
         }
         trace.unsolved_per_iter.push(unsolved.len());
 
-        // Dynamic profits from the current partial selection (Eqn. 6).
+        // Dynamic profits from the current partial selection (Eqn. 6),
+        // scattered over the pool when enough cores and candidates make it
+        // worthwhile. Each slot is written from its own index, so the
+        // parallel fill is bit-identical to the sequential scan (the
+        // parallel-exactness property tests pin this).
         items.clear();
-        items.extend(
-            unsolved
-                .iter()
-                .map(|&i| MkpItem::of_char(instance, &region_times, i)),
-        );
+        items.resize(unsolved.len(), MkpItem::default());
+        {
+            let _scatter = trace::span("round.scatter");
+            crate::par::fill_chunked(&mut items, SCORE_MIN_CHUNK, |offset, part| {
+                for (k, slot) in part.iter_mut().enumerate() {
+                    *slot = MkpItem::of_char(instance, &region_times, unsolved[offset + k]);
+                }
+            });
+        }
         ROUND_ITERS.incr();
         if hint.order().is_empty() {
             LP_COLD.incr();

@@ -1,0 +1,125 @@
+//! Intra-strategy data parallelism: trace-instrumented scatter helpers
+//! over the workspace `rayon` shim.
+//!
+//! Planning strategies already race on OS threads (one per portfolio
+//! entry); this module adds the *inner* level — spreading a strategy's own
+//! embarrassingly parallel loops (per-candidate scoring, row-fill probes)
+//! over the cores the race is not using. Sizing is delegated to
+//! [`rayon::pool::current_num_threads`], which subtracts the other live
+//! race workers from the configured budget (`EBLOW_POOL_THREADS`, else
+//! available parallelism), so the two levels compose without
+//! oversubscription.
+//!
+//! Every helper here is **bit-exact with its sequential equivalent at any
+//! thread count**: outputs are written to index-determined slots (or the
+//! lowest matching index is selected), never merged in completion order.
+//! That is the contract the golden digests and the parallel-exactness
+//! property tests pin.
+//!
+//! Observability: regions that actually fan out count into
+//! `pool.par_regions` (and their task count into `pool.tasks`); regions
+//! that stay inline — one effective thread, or too little work to amortize
+//! a spawn — count into `pool.seq_regions`. A healthy parallel run shows
+//! `pool.par_regions` dominating on large instances; on a one-core box
+//! everything lands in `pool.seq_regions` and the hot paths run the
+//! unchanged sequential code.
+
+use eblow_trace as trace;
+
+/// Scatter regions that fanned out to ≥ 2 workers (counter `pool.par_regions`).
+static PAR_REGIONS: trace::Counter = trace::Counter::new("pool.par_regions");
+/// Scatter regions that ran inline (counter `pool.seq_regions`).
+static SEQ_REGIONS: trace::Counter = trace::Counter::new("pool.seq_regions");
+/// Tasks (chunk claims) handed to pool workers (counter `pool.tasks`).
+static POOL_TASKS: trace::Counter = trace::Counter::new("pool.tasks");
+
+/// Effective thread budget for a region entered on this thread; see
+/// [`rayon::pool::current_num_threads`].
+#[must_use]
+pub fn threads() -> usize {
+    rayon::pool::current_num_threads()
+}
+
+/// Fills `out` in place by calling `fill(offset, chunk)` on contiguous
+/// chunks of at least `min_chunk` items, in parallel when the effective
+/// thread budget and the slice length justify a fan-out.
+///
+/// Bit-exact with `fill(0, out)`: chunks partition the slice, each element
+/// is written by exactly one worker, and `fill` receives the chunk's start
+/// offset so it can index any side tables consistently. `fill` must not
+/// depend on values outside its chunk.
+pub fn fill_chunked<T: Send>(
+    out: &mut [T],
+    min_chunk: usize,
+    fill: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let min_chunk = min_chunk.max(1);
+    let threads = rayon::pool::current_num_threads();
+    // Below two chunks of work there is nothing to hand out.
+    if threads <= 1 || out.len() < 2 * min_chunk {
+        SEQ_REGIONS.incr();
+        fill(0, out);
+        return;
+    }
+    PAR_REGIONS.incr();
+    // ~4 chunks per worker: self-scheduling absorbs imbalance without
+    // shrinking chunks below the amortization floor.
+    let chunk = out.len().div_ceil(threads * 4).max(min_chunk);
+    POOL_TASKS.add(out.len().div_ceil(chunk) as u64);
+    rayon::pool::par_fill(out, threads, chunk, &fill);
+}
+
+/// The lowest index `i < len` with `pred(i)`, evaluating probes in
+/// parallel when the effective thread budget allows.
+///
+/// Deterministic: always the *lowest* matching index, exactly like the
+/// sequential `(0..len).find(pred)` — workers past an already-found match
+/// abandon their probes. `pred` must be pure (it may run for indices after
+/// the first match, and under parallelism probes run out of order).
+pub fn find_first_index(len: usize, pred: impl Fn(usize) -> bool + Sync) -> Option<usize> {
+    use rayon::prelude::*;
+    let threads = rayon::pool::current_num_threads();
+    if threads <= 1 || len <= 1 {
+        SEQ_REGIONS.incr();
+        return (0..len).find(|&i| pred(i));
+    }
+    PAR_REGIONS.incr();
+    POOL_TASKS.add(len as u64);
+    (0..len).into_par_iter().find_first(|&i| pred(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_chunked_matches_sequential_at_any_thread_count() {
+        for threads in [1usize, 2, 4] {
+            rayon::pool::with_threads(threads, || {
+                let mut out = vec![0u64; 777];
+                fill_chunked(&mut out, 8, |offset, part| {
+                    for (k, slot) in part.iter_mut().enumerate() {
+                        *slot = ((offset + k) as u64) * 7 + 1;
+                    }
+                });
+                assert!(
+                    out.iter()
+                        .enumerate()
+                        .all(|(i, &v)| v == (i as u64) * 7 + 1),
+                    "threads={threads}"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn find_first_index_is_lowest_match() {
+        for threads in [1usize, 2, 4] {
+            rayon::pool::with_threads(threads, || {
+                assert_eq!(find_first_index(100, |i| i >= 37), Some(37));
+                assert_eq!(find_first_index(100, |_| false), None);
+                assert_eq!(find_first_index(0, |_| true), None);
+            });
+        }
+    }
+}

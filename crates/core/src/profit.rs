@@ -38,10 +38,45 @@ pub struct RegionTimes {
     at_max: usize,
 }
 
+/// Fixed lane width of the dense sweeps below: 8×u64 fills a cache line,
+/// and a fixed-size accumulator array is what lets the compiler keep the
+/// whole reduction in vector lanes instead of a serial cmp chain.
+const LANES: usize = 8;
+
+/// Maximum of a dense time slice, swept in [`LANES`]-wide chunks.
+fn slice_max(times: &[u64]) -> u64 {
+    let mut lanes = [0u64; LANES];
+    let mut chunks = times.chunks_exact(LANES);
+    for ch in chunks.by_ref() {
+        for l in 0..LANES {
+            lanes[l] = lanes[l].max(ch[l]);
+        }
+    }
+    let tail = chunks.remainder().iter().copied().fold(0u64, u64::max);
+    lanes.into_iter().fold(tail, u64::max)
+}
+
+/// `(max, #regions at max)` of a dense time slice — the bottleneck re-scan,
+/// as two [`LANES`]-chunked passes (a lane-wide max, then a lane-wide
+/// equality count) instead of one branchy combined scan.
+fn max_and_count(times: &[u64]) -> (u64, usize) {
+    let max = slice_max(times);
+    let mut count = 0usize;
+    let mut chunks = times.chunks_exact(LANES);
+    for ch in chunks.by_ref() {
+        let mut c = 0usize;
+        for l in 0..LANES {
+            c += usize::from(ch[l] == max);
+        }
+        count += c;
+    }
+    count += chunks.remainder().iter().filter(|&&t| t == max).count();
+    (max, count)
+}
+
 impl RegionTimes {
     fn from_times(times: Vec<u64>) -> Self {
-        let max = times.iter().copied().max().unwrap_or(0);
-        let at_max = times.iter().filter(|&&t| t == max).count();
+        let (max, at_max) = max_and_count(&times);
         RegionTimes { times, max, at_max }
     }
 
@@ -72,9 +107,7 @@ impl RegionTimes {
         if self.at_max == 0 {
             // The last bottleneck region just dropped: one O(P) re-scan.
             RESCANS.incr();
-            let max = self.times.iter().copied().max().unwrap_or(0);
-            self.max = max;
-            self.at_max = self.times.iter().filter(|&&t| t == max).count();
+            (self.max, self.at_max) = max_and_count(&self.times);
         }
     }
 
@@ -119,28 +152,89 @@ impl RegionTimes {
     /// (negative = improvement). Either may be `None` for pure
     /// insert/remove deltas.
     ///
-    /// One pass over the regions, merging the two candidates' sparse rows
-    /// against the dense times — no multiplies, no allocation.
+    /// Sparse in the common case: the system time is a *max*, so the
+    /// untouched regions' contribution is exactly `self.max` whenever at
+    /// least one region attaining the max is untouched — and `at_max` is
+    /// already maintained. The fast path therefore walks only the two
+    /// candidates' sparse entries, counting how many of them sit on at-max
+    /// regions; unless the swap touches *every* bottleneck region (rare —
+    /// it forces the dense sweep below), the delta is
+    /// `max(self.max, adjusted entries) − self.max` with no dense scan at
+    /// all.
+    // audit:allow(stop-flag-reachability): O(nnz) sparse merge (O(P) dense fallback) — this IS the hot path; a poll here would cost more than it saves
     pub fn swap_delta(&self, instance: &Instance, out: Option<usize>, in_: Option<usize>) -> i64 {
         let empty: &[eblow_model::SparseRepeat] = &[];
         let out_row = out.map_or(empty, |o| instance.sparse_row(o));
         let in_row = in_.map_or(empty, |i| instance.sparse_row(i));
+        let len = self.times.len();
+        {
+            let mut oi = 0usize;
+            let mut ii = 0usize;
+            let mut adj_max = i64::MIN;
+            let mut max_hits = 0usize;
+            while oi < out_row.len() || ii < in_row.len() {
+                let next_o = out_row.get(oi).map_or(len, |e| e.region as usize);
+                let next_i = in_row.get(ii).map_or(len, |e| e.region as usize);
+                let c = next_o.min(next_i);
+                let mut t = self.times[c] as i64;
+                if next_o == c {
+                    t += out_row[oi].reduction as i64;
+                    oi += 1;
+                }
+                if next_i == c {
+                    t -= in_row[ii].reduction as i64;
+                    ii += 1;
+                }
+                max_hits += usize::from(self.times[c] == self.max);
+                adj_max = adj_max.max(t);
+            }
+            if max_hits < self.at_max {
+                // Some untouched region still carries the max: the new
+                // system time is exactly max(old max, adjusted regions).
+                return (self.max as i64).max(adj_max) - self.max as i64;
+            }
+        }
         let mut oi = 0usize;
         let mut ii = 0usize;
         let mut new_max = 0i64;
-        for (c, &t) in self.times.iter().enumerate() {
-            let mut t = t as i64;
-            if oi < out_row.len() && out_row[oi].region as usize == c {
+        let mut c = 0usize;
+        while c < len {
+            let next_o = out_row.get(oi).map_or(len, |e| e.region as usize);
+            let next_i = in_row.get(ii).map_or(len, |e| e.region as usize);
+            let next = next_o.min(next_i).min(len);
+            if next > c {
+                // Untouched run: a pure dense max.
+                new_max = new_max.max(slice_max(&self.times[c..next]) as i64);
+                c = next;
+                continue;
+            }
+            // An adjusted region (one or both rows have an entry here).
+            let mut t = self.times[c] as i64;
+            if next_o == c {
                 t += out_row[oi].reduction as i64;
                 oi += 1;
             }
-            if ii < in_row.len() && in_row[ii].region as usize == c {
+            if next_i == c {
                 t -= in_row[ii].reduction as i64;
                 ii += 1;
             }
             new_max = new_max.max(t);
+            c += 1;
         }
         new_max - self.max as i64
+    }
+
+    /// The system writing time if selected character `v` were removed —
+    /// O(nnz_v) and always exact: a removal only *raises* region times, so
+    /// the new maximum is `max(current max, raised entries)` with no dense
+    /// scan. The swap pass leans on this: inserting the candidate once
+    /// into a scratch tracker turns every swap probe into one call here.
+    pub fn removed_total(&self, instance: &Instance, v: usize) -> u64 {
+        let mut m = self.max;
+        for e in instance.sparse_row(v) {
+            m = m.max(self.times[e.region as usize] + e.reduction);
+        }
+        m
     }
 
     /// Dynamic profit of candidate `i` per Eqn. (6).

@@ -1,0 +1,141 @@
+//! Parallel-vs-sequential bit-exactness and pool cancellation latency.
+//!
+//! The pool contract (see `eblow_core::par`): every parallel scatter is
+//! bit-identical to its sequential equivalent at any thread count. These
+//! tests pin that contract on the two pool users — successive rounding's
+//! per-candidate scoring and the row heuristic's row-fill probes — by
+//! running the same planner under `rayon::pool::with_threads(1 / 2 / 4)`
+//! and demanding *identical* outputs (placements, region times, and
+//! bit-level LP item profits), plus a latency test showing a raised stop
+//! flag still drains a parallel run promptly.
+
+use eblow_core::baselines::{row_heuristic_1d, row_heuristic_1d_with_stop};
+use eblow_core::oned::{
+    successive_rounding, CombinatorialOracle, Eblow1d, RoundingConfig, RoundingOutcome,
+};
+use eblow_core::StopFlag;
+use eblow_gen::{Family, GenConfig};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Thread counts the exactness properties quantify over (on a small box
+/// the extra threads just time-share a core — determinism must not care).
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn rounding_at(inst: &eblow_model::Instance, threads: usize) -> RoundingOutcome {
+    rayon::pool::with_threads(threads, || {
+        let eligible: Vec<usize> = (0..inst.num_chars()).collect();
+        successive_rounding(
+            inst,
+            &eligible,
+            inst.num_rows().unwrap(),
+            &RoundingConfig::default(),
+            &CombinatorialOracle,
+            StopFlag::NEVER,
+        )
+    })
+}
+
+fn assert_outcomes_identical(a: &RoundingOutcome, b: &RoundingOutcome, threads: usize) {
+    assert_eq!(a.unsolved, b.unsolved, "unsolved sets differ at {threads}T");
+    assert_eq!(
+        a.region_times.times(),
+        b.region_times.times(),
+        "region times differ at {threads}T"
+    );
+    assert_eq!(a.rows.len(), b.rows.len());
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.members, rb.members, "row members differ at {threads}T");
+    }
+    // The scattered scoring feeds the LP; profits must match to the bit,
+    // not within a tolerance — parallelism may not reassociate anything.
+    assert_eq!(a.last_items.len(), b.last_items.len());
+    for (ia, ib) in a.last_items.iter().zip(&b.last_items) {
+        assert_eq!(ia.char_index, ib.char_index);
+        assert_eq!(
+            ia.profit.to_bits(),
+            ib.profit.to_bits(),
+            "profit bits differ at {threads}T (char {})",
+            ia.char_index
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Successive rounding is bit-identical at 1/2/4 pool threads.
+    #[test]
+    fn rounding_is_bit_identical_across_thread_counts(seed in 0u64..1000) {
+        let inst = eblow_gen::generate(&GenConfig::tiny_1d(seed));
+        let reference = rounding_at(&inst, 1);
+        for &threads in &THREAD_COUNTS[1..] {
+            let parallel = rounding_at(&inst, threads);
+            assert_outcomes_identical(&reference, &parallel, threads);
+        }
+    }
+
+    /// The row heuristic (parallel row-fill probes) places every character
+    /// identically at 1/2/4 pool threads.
+    #[test]
+    fn rowheur_is_identical_across_thread_counts(seed in 0u64..1000) {
+        let inst = eblow_gen::generate(&GenConfig::tiny_1d(seed));
+        let reference =
+            rayon::pool::with_threads(1, || row_heuristic_1d(&inst).unwrap());
+        for &threads in &THREAD_COUNTS[1..] {
+            let parallel =
+                rayon::pool::with_threads(threads, || row_heuristic_1d(&inst).unwrap());
+            prop_assert_eq!(&reference.placement, &parallel.placement,
+                "placements differ at {}T", threads);
+            prop_assert_eq!(reference.total_time, parallel.total_time);
+        }
+    }
+}
+
+/// The full 1D pipeline on a benchmark instance: one deep check that the
+/// whole plan (not just the rounding stage) is thread-count invariant.
+#[test]
+fn eblow1d_plan_is_identical_across_thread_counts() {
+    let inst = eblow_gen::benchmark(Family::H1(1));
+    let reference = rayon::pool::with_threads(1, || Eblow1d::default().plan(&inst).unwrap());
+    for &threads in &THREAD_COUNTS[1..] {
+        let parallel =
+            rayon::pool::with_threads(threads, || Eblow1d::default().plan(&inst).unwrap());
+        assert_eq!(
+            reference.placement, parallel.placement,
+            "plans differ at {threads}T"
+        );
+        assert_eq!(reference.total_time, parallel.total_time);
+        assert_eq!(reference.region_times, parallel.region_times);
+    }
+}
+
+/// A raised stop flag drains a *parallel* planner run within the same
+/// responsiveness budget as the sequential one: pool workers only ever run
+/// bounded scatter regions between the planner's poll points, so fanning
+/// out must not add cancellation latency.
+#[test]
+fn raised_stop_drains_parallel_run_within_limit() {
+    let inst = eblow_gen::benchmark(Family::M1(5));
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let worker = scope.spawn(|| {
+            rayon::pool::with_threads(4, || {
+                let plan = row_heuristic_1d_with_stop(&inst, StopFlag::new(&stop)).unwrap();
+                (Instant::now(), plan)
+            })
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+        let raised = Instant::now();
+        let (returned, plan) = worker.join().unwrap();
+        let lag = returned.saturating_duration_since(raised);
+        assert!(
+            lag <= Duration::from_millis(400),
+            "parallel rowheur answered {lag:?} after the stop flag was raised \
+             (~200 ms drain target plus CI scheduling headroom)"
+        );
+        plan.placement.validate(&inst).unwrap();
+    });
+}

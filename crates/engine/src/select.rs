@@ -15,7 +15,7 @@
 //!   ([`SelectionModel::save`]/[`SelectionModel::load`]) so warm starts
 //!   survive process restarts.
 //! * [`Selector`] — the racing front-end: extract
-//!   [`InstanceFeatures`](eblow_model::InstanceFeatures), score every
+//!   [`InstanceFeatures`], score every
 //!   strategy of the full portfolio, race only the top-k shortlist, and
 //!   fall back to the full registry when `supports()` filtering leaves the
 //!   shortlist empty ([`race_with_fallback`]).

@@ -42,6 +42,14 @@ static TOPUP_ADDED: trace::Counter = trace::Counter::new("shard.top_up_added");
 /// Duplicate placements reconciled away during stitching (counter
 /// `shard.duplicates_dropped`).
 static DUPLICATES_DROPPED: trace::Counter = trace::Counter::new("shard.duplicates_dropped");
+/// Monolithic refinement passes that beat the stitched plan (counter
+/// `shard.mono_refine_won`).
+static MONO_REFINE_WON: trace::Counter = trace::Counter::new("shard.mono_refine_won");
+
+/// Minimum leftover deadline window worth spending on the monolithic
+/// refinement lane; below this the quality member cannot do better than
+/// its cheapest valid completion and the stitched plan stands as-is.
+const MONO_REFINE_MIN_WINDOW: Duration = Duration::from_millis(100);
 
 /// Tunables of the shard composite strategies.
 ///
@@ -369,6 +377,38 @@ fn resolve_target_chars(inner: &Portfolio, config: &ShardConfig, budget: &Budget
     }
 }
 
+/// The inner member the selection model predicts slowest — the quality
+/// member whose converged plan a stitched result has to beat — restricted
+/// to members that support the full (unsharded) instance. Ties keep
+/// portfolio order, so the choice is deterministic.
+fn quality_member(inner: &Portfolio, instance: &Instance) -> Option<Arc<dyn Strategy>> {
+    let model = crate::select::shared_model();
+    let guard = model.lock().expect("selection model lock");
+    let mut best: Option<(f64, &Arc<dyn Strategy>)> = None;
+    for s in inner.strategies() {
+        if !s.supports(instance) {
+            continue;
+        }
+        let t = guard.throughput(s.name());
+        if best.as_ref().is_none_or(|(bt, _)| t < *bt) {
+            best = Some((t, s));
+        }
+    }
+    best.map(|(_, s)| Arc::clone(s))
+}
+
+/// Whether a `plan()` call that has already stitched should spend the
+/// rest of its deadline window on a monolithic pass over the full
+/// instance. Unlimited budgets say no — the lane would double the work
+/// and change the deterministic deadline-free shard plans for nothing —
+/// as do windows too short for the quality member to improve anything.
+fn mono_refine_window_open(budget: &Budget) -> bool {
+    budget
+        .remaining()
+        .is_some_and(|r| r > MONO_REFINE_MIN_WINDOW)
+        && !budget.is_cancelled()
+}
+
 /// Races the inner portfolio on every shard in parallel.
 ///
 /// Each shard gets its own [`Budget`] over the *full* remaining window
@@ -640,18 +680,44 @@ impl Strategy for Shard1dStrategy {
         trace::instant("shard.top_up", added as i64, 0);
         let region_times = instance.writing_times(&selection);
         let total_time = region_times.iter().copied().max().unwrap_or(0);
-        Ok(PlanOutcome::from_1d(
-            self.name,
-            Plan1d {
-                placement,
-                selection,
-                region_times,
-                total_time,
-                elapsed: started.elapsed(),
-                trace: None,
-            },
-        )
-        .with_degraded(degraded))
+        let mut plan = Plan1d {
+            placement,
+            selection,
+            region_times,
+            total_time,
+            elapsed: started.elapsed(),
+            trace: None,
+        };
+        // The core has grown fast enough that an instance past the shard
+        // gate can still converge monolithically inside a deadline window
+        // the fan-out no longer needs. Spend whatever is left of the
+        // budget on the quality member over the unsharded instance and
+        // keep the better plan: the composite is then no worse than its
+        // own inner on any deadline, instead of paying the stitch quality
+        // loss exactly when sharding stopped being necessary.
+        if mono_refine_window_open(budget) {
+            if let Some(member) = quality_member(&self.inner, instance) {
+                if let Ok(PlanOutcome {
+                    detail: PlanDetail::OneD(mono),
+                    ..
+                }) = member.plan(instance, budget)
+                {
+                    trace::instant(
+                        "shard.mono_refine",
+                        mono.total_time as i64,
+                        plan.total_time as i64,
+                    );
+                    if mono.total_time < plan.total_time {
+                        MONO_REFINE_WON.add(1);
+                        plan = Plan1d {
+                            elapsed: started.elapsed(),
+                            ..mono
+                        };
+                    }
+                }
+            }
+        }
+        Ok(PlanOutcome::from_1d(self.name, plan).with_degraded(degraded))
     }
 }
 
@@ -774,17 +840,38 @@ impl Strategy for Shard2dStrategy {
         );
         let region_times = instance.writing_times(&stitched.selection);
         let total_time = region_times.iter().copied().max().unwrap_or(0);
-        Ok(PlanOutcome::from_2d(
-            self.name,
-            Plan2d {
-                placement: stitched.placement,
-                selection: stitched.selection,
-                region_times,
-                total_time,
-                elapsed: started.elapsed(),
-            },
-        )
-        .with_degraded(degraded))
+        let mut plan = Plan2d {
+            placement: stitched.placement,
+            selection: stitched.selection,
+            region_times,
+            total_time,
+            elapsed: started.elapsed(),
+        };
+        // Same leftover-window monolithic refinement lane as the 1D
+        // composite (see `Shard1dStrategy::plan`).
+        if mono_refine_window_open(budget) {
+            if let Some(member) = quality_member(&self.inner, instance) {
+                if let Ok(PlanOutcome {
+                    detail: PlanDetail::TwoD(mono),
+                    ..
+                }) = member.plan(instance, budget)
+                {
+                    trace::instant(
+                        "shard.mono_refine",
+                        mono.total_time as i64,
+                        plan.total_time as i64,
+                    );
+                    if mono.total_time < plan.total_time {
+                        MONO_REFINE_WON.add(1);
+                        plan = Plan2d {
+                            elapsed: started.elapsed(),
+                            ..mono
+                        };
+                    }
+                }
+            }
+        }
+        Ok(PlanOutcome::from_2d(self.name, plan).with_degraded(degraded))
     }
 }
 
@@ -874,6 +961,31 @@ mod tests {
         let b = strategy.plan(&inst, &Budget::unlimited()).unwrap();
         assert_eq!(a.total_time, b.total_time);
         assert_eq!(a.selection, b.selection);
+    }
+
+    /// Regression for the monolithic refinement lane: under a deadline
+    /// with a leftover window, the composite must end up no worse than
+    /// its quality member run monolithically — the lane races that
+    /// member on the unsharded instance and keeps the better plan. (The
+    /// window here is generous enough that the member converges, so the
+    /// comparison against its unlimited-budget plan is deterministic.)
+    #[test]
+    fn leftover_deadline_window_refines_monolithically() {
+        let inst = small_1d();
+        let strategy = Shard1dStrategy::new().with_config(test_config());
+        let sharded = strategy
+            .plan(&inst, &Budget::with_deadline(Duration::from_secs(30)))
+            .expect("sharded plan");
+        sharded.validate(&inst).expect("valid refined plan");
+        let solo = crate::strategy::Eblow1dStrategy::default()
+            .plan(&inst, &Budget::unlimited())
+            .expect("monolithic plan");
+        assert!(
+            sharded.total_time <= solo.total_time,
+            "stitched+refined T {} worse than the quality member's monolithic T {}",
+            sharded.total_time,
+            solo.total_time
+        );
     }
 
     #[test]

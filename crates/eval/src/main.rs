@@ -45,7 +45,7 @@
 //!                                   (per-case writing time, wall-clock,
 //!                                   winning strategy)
 //! eblow-eval bench-diff OLD.json NEW.json [--max-regress-pct N]
-//!                                   compares two eblow-bench/1 artifacts
+//!                                   compares two bench artifacts
 //!                                   and fails on any per-case writing-time
 //!                                   or wall-clock regression beyond N
 //!                                   percent (default 25); cases missing
@@ -600,8 +600,8 @@ fn bench_cmd(deadline: Duration, out: Option<&str>, case: Option<&str>, rev_arg:
         rows.push(format!(
             "    {{\"case\": {}, \"kind\": {}, \"candidates\": {}, \"regions\": {}, \
              \"t_total\": {}, \"chars_on_stencil\": {}, \"wall_s\": {:.6}, \"gen_s\": {:.6}, \
-             \"winner\": {}, \"complete\": {}, \"early_exit\": {}, \"strategies_raced\": {}, \
-             \"counters\": {{{}}}}}",
+             \"threads\": {}, \"winner\": {}, \"complete\": {}, \"early_exit\": {}, \
+             \"strategies_raced\": {}, \"counters\": {{{}}}}}",
             json_quote(&name),
             json_quote(if inst.num_rows().is_ok() { "1d" } else { "2d" }),
             inst.num_chars(),
@@ -610,6 +610,10 @@ fn bench_cmd(deadline: Duration, out: Option<&str>, case: Option<&str>, rev_arg:
             best.selection.count(),
             outcome.elapsed.as_secs_f64(),
             gen_s,
+            // The effective core budget (EBLOW_POOL_THREADS, else available
+            // parallelism): wall-clocks from different thread counts are
+            // not comparable, and the row must say which one it measured.
+            rayon::pool::configured_threads(),
             json_quote(best.strategy),
             outcome.complete(),
             outcome.early_exit,
@@ -623,7 +627,7 @@ fn bench_cmd(deadline: Duration, out: Option<&str>, case: Option<&str>, rev_arg:
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let doc = format!(
-        "{{\n  \"schema\": \"eblow-bench/1\",\n  \"rev\": {},\n  \"generated_unix\": {},\n  \
+        "{{\n  \"schema\": \"eblow-bench/2\",\n  \"rev\": {},\n  \"generated_unix\": {},\n  \
          \"deadline_s\": {:.3},\n  \"cases\": [\n{}\n  ]\n}}\n",
         json_quote(&rev),
         generated,
@@ -776,28 +780,31 @@ fn trace_cmd(deadline: Duration, case: Option<&str>, out_dir: Option<&str>) {
     );
 }
 
-/// One benchmark-case row parsed from an `eblow-bench/1` artifact.
+/// One benchmark-case row parsed from a bench artifact.
 struct BenchCase {
     name: String,
     t_total: f64,
     wall_s: f64,
 }
 
-/// A parsed `eblow-bench/1` artifact: per-case deadline + case rows.
+/// A parsed bench artifact: per-case deadline + case rows.
 struct BenchArtifact {
     deadline_s: f64,
     cases: Vec<BenchCase>,
 }
 
-/// Parses an `eblow-bench/1` artifact.
+/// Parses an `eblow-bench/1` or `eblow-bench/2` artifact (schema 2 adds
+/// the per-row `"threads"` field; everything the differ reads is common to
+/// both, so old baselines stay comparable).
 fn parse_bench_artifact(path: &str) -> Result<BenchArtifact, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let root = json_parse(&text).map_err(|e| format!("{path}: {e}"))?;
     match root.get("schema").and_then(JsonValue::as_str) {
-        Some("eblow-bench/1") => {}
+        Some("eblow-bench/1" | "eblow-bench/2") => {}
         other => {
             return Err(format!(
-                "{path}: unsupported schema {other:?} (expected \"eblow-bench/1\")"
+                "{path}: unsupported schema {other:?} (expected \"eblow-bench/1\" or \
+                 \"eblow-bench/2\")"
             ))
         }
     }

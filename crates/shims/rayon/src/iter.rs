@@ -1,0 +1,341 @@
+//! The parallel-iterator subset: index-space producers, `map`,
+//! `with_min_len`, and the deterministic consumers `for_each`, `collect`,
+//! and `find_first`.
+//!
+//! Everything is built on one shape: a [`Source`] is a random-access,
+//! `Sync` view of `len` items; consumers split `0..len` into contiguous
+//! chunks (at least [`Iter::with_min_len`] items each, ~4 per worker for
+//! load balancing) and run them through [`pool::run_tasks`]'s
+//! self-scheduling workers. Chunk outputs are reassembled in index order,
+//! which is what makes every consumer deterministic under any schedule.
+
+use crate::pool;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A random-access producer of `len` independent items.
+#[allow(clippy::len_without_is_empty)] // index-space producer, never "checked for empty"
+pub trait Source: Sync {
+    /// The produced item type.
+    type Item: Send;
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// Produces item `i` (`i < len`). Must be pure enough to be called from
+    /// any worker thread.
+    fn get(&self, i: usize) -> Self::Item;
+}
+
+/// [`Source`] over a `usize` range.
+pub struct RangeSource {
+    start: usize,
+    len: usize,
+}
+
+impl Source for RangeSource {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// [`Source`] over a borrowed slice, yielding `&T`.
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Source for SliceSource<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// [`Source`] adapter applying a mapping function.
+pub struct MapSource<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Source, R: Send, F: Fn(S::Item) -> R + Sync> Source for MapSource<S, F> {
+    type Item = R;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn get(&self, i: usize) -> R {
+        (self.f)(self.inner.get(i))
+    }
+}
+
+/// A parallel iterator: a [`Source`] plus a minimum chunk length.
+pub struct Iter<S> {
+    source: S,
+    min_len: usize,
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// The concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = Iter<RangeSource>;
+    fn into_par_iter(self) -> Self::Iter {
+        Iter {
+            source: RangeSource {
+                start: self.start,
+                len: self.end.saturating_sub(self.start),
+            },
+            min_len: 1,
+        }
+    }
+}
+
+/// Borrowing conversion (`.par_iter()` on collections), mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type of the resulting iterator (a shared reference).
+    type Item: Send;
+    /// The concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = Iter<SliceSource<'a, T>>;
+    fn par_iter(&'a self) -> Self::Iter {
+        Iter {
+            source: SliceSource { slice: self },
+            min_len: 1,
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = Iter<SliceSource<'a, T>>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.as_slice().par_iter()
+    }
+}
+
+/// Slice splitting helpers, mirroring `rayon::slice::ParallelSlice` (only
+/// the `par_iter` entry point is provided; use [`IntoParallelRefIterator`]).
+pub trait ParallelSlice<T: Sync> {
+    /// Borrows the slice as a parallel iterator over `&T`.
+    fn as_parallel_slice(&self) -> &[T];
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn as_parallel_slice(&self) -> &[T] {
+        self
+    }
+}
+
+/// Deterministic parallel iterator combinators.
+///
+/// All consumers produce results identical to the equivalent sequential
+/// iterator chain, at every thread count.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+    /// The underlying source type (implementation detail).
+    #[doc(hidden)]
+    type Source: Source<Item = Self::Item>;
+
+    /// Decomposes into `(source, min_len)`.
+    #[doc(hidden)]
+    fn into_parts(self) -> (Self::Source, usize);
+
+    /// Sets the minimum number of items a worker processes per chunk claim
+    /// (amortizes per-chunk overhead for cheap item functions).
+    fn with_min_len(self, min_len: usize) -> Iter<Self::Source> {
+        let (source, _) = self.into_parts();
+        Iter {
+            source,
+            min_len: min_len.max(1),
+        }
+    }
+
+    /// Maps each item through `f`.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Iter<MapSource<Self::Source, F>> {
+        let (source, min_len) = self.into_parts();
+        Iter {
+            source: MapSource { inner: source, f },
+            min_len,
+        }
+    }
+
+    /// Runs `f` on every item; each item is visited exactly once.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        let (source, min_len) = self.into_parts();
+        let len = source.len();
+        let threads = pool::current_num_threads();
+        let plan = ChunkPlan::new(len, threads, min_len);
+        pool::run_tasks(plan.n_chunks, threads, &|ci| {
+            for i in plan.chunk_range(ci) {
+                f(source.get(i));
+            }
+        });
+    }
+
+    /// Collects all items, **in input order**, into `C` (currently
+    /// `Vec<Item>`).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        let (source, min_len) = self.into_parts();
+        C::from_source(&source, min_len)
+    }
+
+    /// The first item (by input order, not completion order) matching
+    /// `pred` — deterministic, like rayon's `find_first`. Workers skip
+    /// chunks entirely beyond the best match found so far, so the search
+    /// short-circuits like the sequential `find`.
+    fn find_first<P: Fn(&Self::Item) -> bool + Sync>(self, pred: P) -> Option<Self::Item> {
+        let (source, min_len) = self.into_parts();
+        let len = source.len();
+        let threads = pool::current_num_threads();
+        if threads <= 1 {
+            return (0..len).map(|i| source.get(i)).find(|it| pred(it));
+        }
+        let plan = ChunkPlan::new(len, threads, min_len);
+        let best_idx = AtomicUsize::new(usize::MAX);
+        let best: Mutex<Option<(usize, Self::Item)>> = Mutex::new(None);
+        pool::run_tasks(plan.n_chunks, threads, &|ci| {
+            let range = plan.chunk_range(ci);
+            if range.start >= best_idx.load(Ordering::Relaxed) {
+                return; // a strictly earlier match already exists
+            }
+            for i in range {
+                if i >= best_idx.load(Ordering::Relaxed) {
+                    return;
+                }
+                let item = source.get(i);
+                if pred(&item) {
+                    best_idx.fetch_min(i, Ordering::Relaxed);
+                    let mut slot = best.lock().expect("find_first result lock");
+                    if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                        *slot = Some((i, item));
+                    }
+                    return;
+                }
+            }
+        });
+        best.into_inner()
+            .expect("find_first result lock")
+            .map(|(_, item)| item)
+    }
+}
+
+impl<S: Source> ParallelIterator for Iter<S> {
+    type Item = S::Item;
+    type Source = S;
+    fn into_parts(self) -> (S, usize) {
+        (self.source, self.min_len)
+    }
+}
+
+/// Collection types a parallel iterator can [`collect`](ParallelIterator::collect) into.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Materializes all of `source`, in index order.
+    #[doc(hidden)]
+    fn from_source<S: Source<Item = T>>(source: &S, min_len: usize) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_source<S: Source<Item = T>>(source: &S, min_len: usize) -> Vec<T> {
+        let len = source.len();
+        let threads = pool::current_num_threads();
+        if threads <= 1 || len <= min_len {
+            return (0..len).map(|i| source.get(i)).collect();
+        }
+        let plan = ChunkPlan::new(len, threads, min_len);
+        // One slot per chunk; each worker fills only its claimed chunk's
+        // slot, so the per-slot mutexes are never contended — they exist to
+        // move the chunk vectors out without `unsafe`.
+        let slots: Vec<Mutex<Vec<T>>> =
+            (0..plan.n_chunks).map(|_| Mutex::new(Vec::new())).collect();
+        pool::run_tasks(plan.n_chunks, threads, &|ci| {
+            let range = plan.chunk_range(ci);
+            let mut out = Vec::with_capacity(range.len());
+            out.extend(range.map(|i| source.get(i)));
+            *slots[ci].lock().expect("collect chunk lock") = out;
+        });
+        let mut out = Vec::with_capacity(len);
+        for slot in slots {
+            out.append(&mut slot.into_inner().expect("collect chunk lock"));
+        }
+        out
+    }
+}
+
+/// Contiguous chunking of `0..len`: every chunk has `chunk` items except a
+/// shorter tail.
+struct ChunkPlan {
+    len: usize,
+    chunk: usize,
+    n_chunks: usize,
+}
+
+impl ChunkPlan {
+    /// Targets ~4 chunks per worker (self-scheduling absorbs imbalance)
+    /// but never chunks below `min_len` items.
+    fn new(len: usize, threads: usize, min_len: usize) -> ChunkPlan {
+        let target = len.div_ceil(threads.max(1) * 4);
+        let chunk = target.max(min_len).max(1);
+        ChunkPlan {
+            len,
+            chunk,
+            n_chunks: len.div_ceil(chunk),
+        }
+    }
+
+    fn chunk_range(&self, ci: usize) -> Range<usize> {
+        let start = ci * self.chunk;
+        start..self.len.min(start + self.chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_plan_covers_the_index_space_exactly() {
+        for len in [0usize, 1, 7, 64, 1000, 1001] {
+            for threads in [1usize, 2, 4, 9] {
+                for min_len in [1usize, 16, 2000] {
+                    let plan = ChunkPlan::new(len, threads, min_len);
+                    let mut seen = 0usize;
+                    for ci in 0..plan.n_chunks {
+                        let r = plan.chunk_range(ci);
+                        assert_eq!(r.start, seen, "gap at chunk {ci}");
+                        seen = r.end;
+                    }
+                    assert_eq!(seen, len, "len={len} threads={threads} min={min_len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_range_collects_empty() {
+        let v: Vec<usize> = (5..5).into_par_iter().collect();
+        assert!(v.is_empty());
+        assert_eq!((5..5).into_par_iter().find_first(|_| true), None);
+    }
+}

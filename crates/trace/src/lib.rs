@@ -13,7 +13,7 @@
 //! * Typed [`Counter`]s and power-of-two-bucketed [`Histogram`]s declared
 //!   as `static`s at the use site and lazily registered into a global
 //!   registry on first touch (enabled at `Level::Counters` and up).
-//! * Per-thread lock-free event rings ([`ring`]) with monotonic span
+//! * Per-thread lock-free event rings (the `ring` module) with monotonic span
 //!   timing ([`span`]/[`SpanGuard`]), instants, and value samples
 //!   (enabled only at `Level::Full`). Rings overwrite oldest when full
 //!   and report how many events aged out.
@@ -498,7 +498,7 @@ impl TraceSnapshot {
 }
 
 /// Copies out the current recorder state. Intended at quiescence (worker
-/// threads joined); see [`ring`] for the exact consistency contract.
+/// threads joined); see the `ring` module for the exact consistency contract.
 pub fn snapshot() -> TraceSnapshot {
     let reg = registry();
     let mut threads: Vec<ThreadTrace> = reg
